@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3 reproduction: cumulative latency of N 32-bit MMIO stores to
+ * distinct lines, E810 and CX6 endpoints. The knee at N = 24 is the
+ * exhaustion of the write-combining buffers; beyond it, each store
+ * stalls on a serialized partial-line eviction.
+ */
+
+#include <functional>
+
+#include "bench/common.hh"
+#include "nic/pcie_nic.hh"
+#include "pcie/pcie.hh"
+
+using namespace ccn;
+
+namespace {
+
+sim::Task
+body(std::function<sim::Coro<void>()> fn, bool &done)
+{
+    co_await fn();
+    done = true;
+}
+
+double
+cumulativeUs(const pcie::PcieParams &params, int n)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem system(simv, mem::icxConfig());
+    pcie::PcieLink link(simv, params, system, 0);
+    pcie::WcWindow wc(simv, link, pcie::WcTarget::Device);
+    double us = 0;
+    bool done = false;
+    auto fn = [&]() -> sim::Coro<void> {
+        const sim::Tick t0 = simv.now();
+        for (int i = 0; i < n; ++i)
+            co_await wc.store(0x40000000ULL + 64ULL * i, 4);
+        us = sim::toUs(simv.now() - t0);
+        co_return;
+    };
+    simv.spawn(body(fn, done));
+    simv.run();
+    return us;
+}
+
+} // namespace
+
+int
+main()
+{
+    stats::banner(
+        "Figure 3: cumulative MMIO store latency vs store count [us]");
+    stats::Table t({"stores", "E810_us", "CX6_us", "paper_shape"});
+    for (int n : {1, 8, 16, 24, 32, 40, 48, 56, 64}) {
+        t.row()
+            .cell(n)
+            .cell(cumulativeUs(nic::e810Params().pcie, n), 3)
+            .cell(cumulativeUs(nic::cx6Params().pcie, n), 3)
+            .cell(n <= 24 ? "<0.02us (all WC buffers free)"
+                          : "grows ~0.3-0.5us per store; E810 steeper");
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 7 reproduction: local and cross-UPI access latency for the
+ * five cache-state cases, on both platform models.
+ */
+
+#include <functional>
+
+#include "bench/common.hh"
+
+using namespace ccn;
+
+namespace {
+
+sim::Task
+body(std::function<sim::Coro<void>()> fn, bool &done)
+{
+    co_await fn();
+    done = true;
+}
+
+struct Fig7Row
+{
+    double lDram, rDram, lL2, rL2rh, rL2lh;
+};
+
+Fig7Row
+measure(const mem::PlatformConfig &plat)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, plat);
+    const mem::AgentId reader = m.addAgent(0);
+    const mem::AgentId peer = m.addAgent(0);
+    const mem::AgentId remote = m.addAgent(1);
+    Fig7Row row{};
+    bool done = false;
+    auto fn = [&]() -> sim::Coro<void> {
+        auto probe = [&](int home, mem::AgentId writer,
+                         double &out) -> sim::Coro<void> {
+            stats::Histogram h;
+            for (int i = 0; i < 64; ++i) {
+                mem::Addr a = m.alloc(home, 256, 256);
+                if (writer >= 0)
+                    co_await m.store(writer, a, 8);
+                co_await simv.delay(sim::fromUs(1.0));
+                const sim::Tick t0 = simv.now();
+                co_await m.load(reader, a, 8);
+                h.record(simv.now() - t0);
+            }
+            out = sim::toNs(h.median());
+            co_return;
+        };
+        co_await probe(0, -1, row.lDram);
+        co_await probe(1, -1, row.rDram);
+        co_await probe(0, peer, row.lL2);
+        co_await probe(1, remote, row.rL2rh);
+        co_await probe(0, remote, row.rL2lh);
+        co_return;
+    };
+    simv.spawn(body(fn, done));
+    simv.run();
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    stats::banner("Figure 7: access latency by target state [ns]");
+    stats::Table t({"platform", "target", "measured_ns", "paper_ns"});
+    const Fig7Row spr = measure(mem::sprConfig());
+    const Fig7Row icx = measure(mem::icxConfig());
+    const char *names[5] = {"L DRAM", "R DRAM", "L L2", "R L2 (rh)",
+                            "R L2 (lh)"};
+    const double sprv[5] = {spr.lDram, spr.rDram, spr.lL2, spr.rL2rh,
+                            spr.rL2lh};
+    const double icxv[5] = {icx.lDram, icx.rDram, icx.lL2, icx.rL2rh,
+                            icx.rL2lh};
+    const int sprp[5] = {108, 191, 82, 171, 174};
+    const int icxp[5] = {72, 144, 48, 114, 119};
+    for (int i = 0; i < 5; ++i)
+        t.row().cell("SPR").cell(names[i]).cell(sprv[i], 1).cell(sprp[i]);
+    for (int i = 0; i < 5; ++i)
+        t.row().cell("ICX").cell(names[i]).cell(icxv[i], 1).cell(icxp[i]);
+    t.print();
+    return 0;
+}

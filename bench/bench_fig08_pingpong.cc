@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 8 reproduction: UPI pingpong median latency across memory
+ * layout/homing choices — both registers homed on socket 0 (S0) or
+ * socket 1 (S1), homed with the reader/writer (Rd/Wr), and co-located
+ * on one line homed on either socket (S0C/S1C).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/common.hh"
+
+using namespace ccn;
+
+namespace {
+
+struct PingState
+{
+    std::uint64_t ping = 0, pong = 0;
+    sim::Tick start = 0;
+    std::vector<sim::Tick> rtts;
+};
+
+sim::Task
+pingTask(mem::CoherentSystem &m, sim::Simulator &simv, mem::AgentId a,
+         mem::Addr r1, mem::Addr r2, int rounds, PingState *st)
+{
+    for (int i = 1; i <= rounds; ++i) {
+        st->start = simv.now();
+        co_await m.store(a, r1, 8);
+        st->ping = static_cast<std::uint64_t>(i);
+        for (;;) {
+            co_await m.load(a, r2, 8);
+            if (st->pong == static_cast<std::uint64_t>(i))
+                break;
+            co_await m.waitLineChange(mem::lineOf(r2),
+                                      m.lineVersion(r2));
+        }
+        st->rtts.push_back(simv.now() - st->start);
+    }
+}
+
+sim::Task
+pongTask(mem::CoherentSystem &m, mem::AgentId a, mem::Addr r1,
+         mem::Addr r2, int rounds, PingState *st)
+{
+    for (int i = 1; i <= rounds; ++i) {
+        for (;;) {
+            co_await m.load(a, r1, 8);
+            if (st->ping == static_cast<std::uint64_t>(i))
+                break;
+            co_await m.waitLineChange(mem::lineOf(r1),
+                                      m.lineVersion(r1));
+        }
+        co_await m.store(a, r2, 8);
+        st->pong = static_cast<std::uint64_t>(i);
+    }
+}
+
+/** Median pingpong RTT for registers homed at (h1, h2), colocated or
+ *  not. The "writer" of r1 is socket 0; of r2 is socket 1. */
+double
+pingpongNs(const mem::PlatformConfig &plat, int h1, int h2,
+           bool colocated)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, plat);
+    const mem::AgentId a0 = m.addAgent(0);
+    const mem::AgentId a1 = m.addAgent(1);
+    mem::Addr r1 = m.alloc(h1, mem::kLineBytes);
+    mem::Addr r2 =
+        colocated ? r1 + 8 : m.alloc(h2, mem::kLineBytes);
+    PingState st;
+    simv.spawn(pingTask(m, simv, a0, r1, r2, 201, &st));
+    simv.spawn(pongTask(m, a1, r1, r2, 201, &st));
+    simv.run();
+    std::sort(st.rtts.begin(), st.rtts.end());
+    return sim::toNs(st.rtts[st.rtts.size() / 2]);
+}
+
+} // namespace
+
+int
+main()
+{
+    stats::banner("Figure 8: pingpong latency by layout/homing [ns]");
+    stats::Table t({"case", "SPR_ns", "ICX_ns", "paper_shape"});
+    struct Case
+    {
+        const char *name;
+        int h1, h2;
+        bool coloc;
+        const char *note;
+    };
+    const Case cases[] = {
+        {"S0 (both on socket0)", 0, 0, false, "separate lines"},
+        {"S1 (both on socket1)", 1, 1, false, "separate lines"},
+        {"Rd (reader-homed)", 1, 0, false, "separate lines"},
+        {"Wr (writer-homed)", 0, 1, false, "lowest of separate"},
+        {"S0C (one line, s0)", 0, 0, true, "1.7-2.4x better"},
+        {"S1C (one line, s1)", 1, 1, true, "1.7-2.4x better"},
+    };
+    auto spr = mem::sprConfig();
+    auto icx = mem::icxConfig();
+    for (const Case &c : cases) {
+        t.row()
+            .cell(c.name)
+            .cell(pingpongNs(spr, c.h1, c.h2, c.coloc), 1)
+            .cell(pingpongNs(icx, c.h1, c.h2, c.coloc), 1)
+            .cell(c.note);
+    }
+    t.print();
+    return 0;
+}

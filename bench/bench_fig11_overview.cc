@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 11 reproduction: throughput-latency curves on ICX for the
+ * four interfaces (CC-NIC, unoptimized UPI, PCIe E810, PCIe CX6) at
+ * 64B and 1.5KB packet sizes, with the §5.2 headline comparisons.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+namespace {
+
+void
+curveFor(const char *name,
+         const std::function<std::unique_ptr<World>()> &factory,
+         std::uint32_t pkt, double max_pps, stats::Table &t)
+{
+    workload::LoopbackConfig cfg;
+    cfg.threads = 16;
+    cfg.pktSize = pkt;
+    for (const CurvePoint &p : traceCurve(factory, cfg, max_pps, 6)) {
+        t.row()
+            .cell(name)
+            .cell(static_cast<std::uint64_t>(pkt))
+            .cell(p.offeredMpps, 1)
+            .cell(p.achievedMpps, 1)
+            .cell(p.medianNs, 0)
+            .cell(p.gbps, 1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    auto icx = mem::icxConfig();
+    auto mkCc = [&] {
+        return makeCcNicWorld(icx, ccnic::optimizedConfig(16, 0, icx));
+    };
+    auto mkUn = [&] {
+        return makeCcNicWorld(icx,
+                              ccnic::unoptimizedConfig(16, 0, icx));
+    };
+    auto mkE810 = [&] {
+        return makePcieWorld(icx, nic::e810Params(), 16);
+    };
+    auto mkCx6 = [&] { return makePcieWorld(icx, nic::cx6Params(), 16); };
+
+    stats::banner("Figure 11: throughput-latency, ICX, 16 threads");
+    stats::Table t({"series", "pkt", "offered_Mpps", "achieved_Mpps",
+                    "median_ns", "Gbps"});
+    curveFor("CC-NIC", mkCc, 64, 300e6, t);
+    curveFor("UPI-unopt", mkUn, 64, 90e6, t);
+    curveFor("PCIe-E810", mkE810, 64, 200e6, t);
+    curveFor("PCIe-CX6", mkCx6, 64, 90e6, t);
+    curveFor("CC-NIC", mkCc, 1500, 36e6, t);
+    curveFor("UPI-unopt", mkUn, 1500, 14e6, t);
+    curveFor("PCIe-E810", mkE810, 1500, 20e6, t);
+    curveFor("PCIe-CX6", mkCx6, 1500, 20e6, t);
+    t.print();
+
+    stats::banner("Sec 5.2 headline comparisons (64B, ICX)");
+    workload::LoopbackConfig peak_cfg;
+    peak_cfg.threads = 16;
+    const double cc_min = minLatencyNs(mkCc);
+    const double un_min = minLatencyNs(mkUn);
+    const double e_min = minLatencyNs(mkE810);
+    const double c_min = minLatencyNs(mkCx6);
+    const double cc_pps = findPeak(mkCc, peak_cfg, 280e6).achievedMpps;
+    const double un_pps = findPeak(mkUn, peak_cfg, 75e6).achievedMpps;
+    const double e_pps = findPeak(mkE810, peak_cfg, 170e6).achievedMpps;
+    const double c_pps = findPeak(mkCx6, peak_cfg, 75e6).achievedMpps;
+    stats::Table s({"metric", "measured", "paper"});
+    s.row().cell("CC-NIC min lat [ns]").cell(cc_min, 0).cell("490");
+    s.row().cell("unopt min lat [ns]").cell(un_min, 0)
+        .cell("2.1x CC-NIC (~1030)");
+    s.row().cell("E810 min lat [ns]").cell(e_min, 0).cell("3809");
+    s.row().cell("CX6 min lat [ns]").cell(c_min, 0).cell("2116");
+    s.row().cell("CC-NIC vs CX6 min lat reduction [%]")
+        .cell(100.0 * (1.0 - cc_min / c_min), 0).cell("77");
+    s.row().cell("CC-NIC vs E810 min lat reduction [%]")
+        .cell(100.0 * (1.0 - cc_min / e_min), 0).cell("86");
+    s.row().cell("CC-NIC peak [Mpps]").cell(cc_pps, 0).cell("330");
+    s.row().cell("unopt peak [Mpps]").cell(un_pps, 0)
+        .cell("79% below CC-NIC (~70)");
+    s.row().cell("E810 peak [Mpps]").cell(e_pps, 0).cell("192");
+    s.row().cell("CX6 peak [Mpps]").cell(c_pps, 0).cell("76");
+    s.row().cell("CC-NIC/E810 peak ratio").cell(cc_pps / e_pps, 2)
+        .cell("1.7");
+    s.row().cell("CC-NIC/CX6 peak ratio").cell(cc_pps / c_pps, 2)
+        .cell("4.3");
+    s.print();
+    return 0;
+}

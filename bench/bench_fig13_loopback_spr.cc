@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13 reproduction: CC-NIC loopback on the SPR terabit UPI
+ * across core counts, 64B and 1.5KB; §5.3 anchors: 1520Mpps /
+ * 986Gbps, min latency 650ns, 48 of 56 cores for 90% of peak.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+int
+main()
+{
+    auto spr = mem::sprConfig();
+    stats::banner("Figure 13: CC-NIC loopback vs core count, SPR");
+    stats::Table t({"pkt", "cores", "peak_Mpps", "Gbps", "min_ns",
+                    "paper_anchor"});
+    for (std::uint32_t pkt : {64u, 1500u}) {
+        for (int cores : {1, 8, 16, 32, 48, 56}) {
+            auto mk = [&] {
+                return makeCcNicWorld(
+                    spr, ccnic::optimizedConfig(cores, 0, spr));
+            };
+            workload::LoopbackConfig cfg;
+            cfg.threads = cores;
+            cfg.pktSize = pkt;
+            cfg.window = sim::fromUs(100.0);
+            const double guess = (pkt == 64 ? 28e6 : 2.6e6) * cores;
+            auto peak = findPeak(mk, cfg, guess);
+            const double min_ns =
+                cores == 1 ? minLatencyNs(mk, pkt) : 0.0;
+            t.row().cell(static_cast<std::uint64_t>(pkt)).cell(cores)
+                .cell(peak.achievedMpps, 1).cell(peak.gbps, 1)
+                .cell(min_ns, 0)
+                .cell(pkt == 64 && cores == 56
+                          ? "paper: 1520Mpps (778Gbps), min 650ns"
+                          : (pkt == 1500 && cores == 56
+                                 ? "paper: 986Gbps"
+                                 : "-"));
+        }
+    }
+    t.print();
+    return 0;
+}

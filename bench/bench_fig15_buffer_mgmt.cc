@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 15 reproduction: CC-NIC buffer-management ablations on SPR —
+ * removing buffer recycling, then small buffers, then NIC-side buffer
+ * management — measured as peak 64B rate and loaded latency.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+int
+main()
+{
+    auto spr = mem::sprConfig();
+    const int cores = 48;
+
+    struct Step
+    {
+        const char *name;
+        const char *paper;
+        std::function<void(ccnic::CcNicConfig &)> apply;
+    };
+    const Step steps[] = {
+        {"optimized", "baseline (paper peak 1520Mpps)",
+         [](ccnic::CcNicConfig &) {}},
+        {"- buf recycling", "paper: -20% throughput",
+         [](ccnic::CcNicConfig &c) {
+             c.pool.recycleCache = false;
+             c.pool.nonSequentialFill = false;
+         }},
+        {"- small bufs", "paper: further -37%",
+         [](ccnic::CcNicConfig &c) {
+             c.pool.recycleCache = false;
+             c.pool.nonSequentialFill = false;
+             c.pool.smallBuffers = false;
+         }},
+        {"- NIC buf mgmt", "paper: further -46%, +1.3x latency",
+         [](ccnic::CcNicConfig &c) {
+             c.pool.recycleCache = false;
+             c.pool.nonSequentialFill = false;
+             c.pool.smallBuffers = false;
+             c.nicBufferMgmt = false;
+             c.pool.sharedAccess = false;
+         }},
+    };
+
+    stats::banner("Figure 15: buffer management ablation (SPR, 64B)");
+    stats::Table t({"config", "peak_Mpps", "rel_to_opt", "med_ns@70%",
+                    "paper"});
+    double base = 0;
+    for (const Step &s : steps) {
+        auto cfg = ccnic::optimizedConfig(cores, 0, spr);
+        s.apply(cfg);
+        auto mk = [&] { return makeCcNicWorld(spr, cfg); };
+        workload::LoopbackConfig lc;
+        lc.threads = cores;
+        lc.window = sim::fromUs(100.0);
+        auto peak = findPeak(mk, lc, 24e6 * cores);
+        if (base == 0)
+            base = peak.achievedMpps;
+        t.row().cell(s.name).cell(peak.achievedMpps, 1)
+            .cell(peak.achievedMpps / base, 2)
+            .cell(latencyAtLoadNs(mk, lc, peak.achievedMpps * 1e6,
+                                  0.7), 0)
+            .cell(s.paper);
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 16 reproduction: 64B packet rate relative to maximum as a
+ * function of TX and RX batch size, CC-NIC vs E810 on ICX. The paper's
+ * anchors: unbatched TX gives 27% of peak on CC-NIC vs 12% on E810;
+ * RX batching matters little (>=93% vs >=63%).
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+namespace {
+
+double
+peakAt(const std::function<std::unique_ptr<World>()> &mk, int tx_b,
+       int rx_b, double guess)
+{
+    workload::LoopbackConfig cfg;
+    cfg.threads = 8;
+    cfg.txBatch = tx_b;
+    cfg.rxBatch = rx_b;
+    return findPeak(mk, cfg, guess).achievedMpps;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto icx = mem::icxConfig();
+    auto mkCc = [&] {
+        return makeCcNicWorld(icx, ccnic::optimizedConfig(8, 0, icx));
+    };
+    auto mkE810 = [&] {
+        return makePcieWorld(icx, nic::e810Params(), 8);
+    };
+
+    const double cc_max = peakAt(mkCc, 32, 32, 190e6);
+    const double e_max = peakAt(mkE810, 32, 32, 100e6);
+
+    stats::banner("Figure 16a: TX batch sweep (RX fixed 32), 64B");
+    stats::Table a({"tx_batch", "CC-NIC_frac", "E810_frac", "paper"});
+    for (int b : {1, 2, 4, 8, 16, 32}) {
+        a.row().cell(b)
+            .cell(peakAt(mkCc, b, 32, cc_max * 1e6 * 1.1) / cc_max, 2)
+            .cell(peakAt(mkE810, b, 32, e_max * 1e6 * 1.1) / e_max, 2)
+            .cell(b == 1 ? "paper: 0.27 vs 0.12" : "-");
+    }
+    a.print();
+
+    stats::banner("Figure 16b: RX batch sweep (TX fixed 32), 64B");
+    stats::Table r({"rx_batch", "CC-NIC_frac", "E810_frac", "paper"});
+    for (int b : {1, 2, 4, 8, 16, 32}) {
+        r.row().cell(b)
+            .cell(peakAt(mkCc, 32, b, cc_max * 1e6 * 1.1) / cc_max, 2)
+            .cell(peakAt(mkE810, 32, b, e_max * 1e6 * 1.1) / e_max, 2)
+            .cell(b == 1 ? "paper: >=0.93 vs >=0.63" : "-");
+    }
+    r.print();
+    return 0;
+}

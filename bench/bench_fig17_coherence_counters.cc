@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 17 reproduction: NIC-side remote READ and RFO interconnect
+ * operations per TX-RX loopback, for CC-NIC and the unoptimized UPI
+ * baseline, in batched and singleton descriptor regimes.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+namespace {
+
+struct Counts
+{
+    double reads, rfos;
+};
+
+Counts
+measure(const ccnic::CcNicConfig &cfg, bool batched)
+{
+    auto spr = mem::sprConfig();
+    auto w = makeCcNicWorld(spr, cfg);
+    // NIC-side prefetch off, matching the paper's default setting.
+    w->system.setPrefetch(1, false);
+    workload::LoopbackConfig lc;
+    lc.threads = 1;
+    if (batched) {
+        lc.offeredPps = 40e6;
+        lc.txBatch = 8;
+        lc.rxBatch = 8;
+    } else {
+        lc.closedWindow = 1;
+        lc.txBatch = 1;
+        lc.rxBatch = 1;
+    }
+    lc.warmup = sim::fromUs(60.0);
+    lc.window = sim::fromUs(200.0);
+    // Warm up first, then reset counters and measure a clean window.
+    w->simv.run(sim::fromUs(50.0));
+    w->system.resetStats();
+    auto r = workload::runLoopback(w->simv, w->system, *w->nic, lc);
+    const auto &c = w->system.counters(w->ccnic->nicAgent(0));
+    const double pk = static_cast<double>(std::max<std::uint64_t>(
+        1, r.rxPackets));
+    // The measurement window is a subset of the counter window; scale
+    // by total looped packets instead.
+    const double total = static_cast<double>(w->ccnic->txCount());
+    (void)pk;
+    return Counts{
+        static_cast<double>(c.remoteReads + c.prefetchRemote) / total,
+        static_cast<double>(c.remoteRfos) / total};
+}
+
+} // namespace
+
+int
+main()
+{
+    auto spr = mem::sprConfig();
+    stats::banner(
+        "Figure 17: NIC remote accesses per TX-RX loopback (SPR)");
+    stats::Table t({"case", "READ/pkt", "RFO/pkt", "paper_READ",
+                    "paper_RFO"});
+    {
+        auto c = measure(ccnic::optimizedConfig(1, 0, spr), true);
+        t.row().cell("CC-NIC batched").cell(c.reads, 2).cell(c.rfos, 2)
+            .cell("1.3").cell("0.3");
+    }
+    {
+        auto c = measure(ccnic::unoptimizedConfig(1, 0, spr), true);
+        t.row().cell("Unopt batched").cell(c.reads, 2).cell(c.rfos, 2)
+            .cell("1.5").cell("0.8");
+    }
+    {
+        auto c = measure(ccnic::optimizedConfig(1, 0, spr), false);
+        t.row().cell("CC-NIC single").cell(c.reads, 2).cell(c.rfos, 2)
+            .cell("2.9").cell("2.8");
+    }
+    {
+        auto c = measure(ccnic::unoptimizedConfig(1, 0, spr), false);
+        t.row().cell("Unopt single").cell(c.reads, 2).cell(c.rfos, 2)
+            .cell("5.4").cell("4.9");
+    }
+    t.print();
+    return 0;
+}

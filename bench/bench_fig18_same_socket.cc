@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 18 reproduction: single-thread 64B loopback with the CC-NIC
+ * threads on the remote socket (cross-UPI) versus the same socket,
+ * isolating the interconnect's contribution to latency and per-thread
+ * throughput (paper: ~40-50% of latency; 1.5x per-thread throughput
+ * same-socket).
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+int
+main()
+{
+    auto spr = mem::sprConfig();
+    auto mkRemote = [&] {
+        return makeCcNicWorld(spr, ccnic::optimizedConfig(1, 0, spr),
+                              0, 1);
+    };
+    auto mkLocal = [&] {
+        return makeCcNicWorld(spr, ccnic::optimizedConfig(1, 0, spr),
+                              0, 0);
+    };
+    workload::LoopbackConfig cfg;
+    cfg.threads = 1;
+    auto rp = findPeak(mkRemote, cfg, 26e6);
+    auto lp = findPeak(mkLocal, cfg, 42e6);
+    const double rmin = minLatencyNs(mkRemote);
+    const double lmin = minLatencyNs(mkLocal);
+
+    stats::banner("Figure 18: same-socket vs cross-UPI (SPR, 1 thread)");
+    stats::Table t({"deployment", "min_ns", "peak_Mpps", "paper"});
+    t.row().cell("remote-socket NIC").cell(rmin, 0)
+        .cell(rp.achievedMpps, 1).cell("baseline");
+    t.row().cell("same-socket NIC").cell(lmin, 0)
+        .cell(lp.achievedMpps, 1)
+        .cell("interconnect ~40-50% of latency; 1.5x tput");
+    stats::Table s({"metric", "measured", "paper"});
+    t.print();
+    s.row().cell("interconnect share of min latency [%]")
+        .cell(100.0 * (1.0 - lmin / rmin), 0).cell("40-50");
+    s.row().cell("same-socket per-thread speedup")
+        .cell(lp.achievedMpps / rp.achievedMpps, 2).cell("1.5");
+    s.print();
+    return 0;
+}

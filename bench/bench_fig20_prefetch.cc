@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 20 reproduction: impact of hardware prefetching on packet
+ * rate relative to prefetching disabled, for CC-NIC (64B, 1.5KB) and
+ * the unoptimized baseline, on SPR.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+namespace {
+
+double
+peakWithPf(const ccnic::CcNicConfig &cfg, std::uint32_t pkt,
+           bool host_pf, bool nic_pf, double guess)
+{
+    auto spr = mem::sprConfig();
+    auto mk = [&] {
+        auto w = makeCcNicWorld(spr, cfg);
+        w->system.setPrefetch(0, host_pf);
+        w->system.setPrefetch(1, nic_pf);
+        return w;
+    };
+    workload::LoopbackConfig lc;
+    lc.threads = cfg.numQueues;
+    lc.pktSize = pkt;
+    lc.window = sim::fromUs(100.0);
+    return findPeak(mk, lc, guess).achievedMpps;
+}
+
+void
+row(const char *name, const ccnic::CcNicConfig &cfg, std::uint32_t pkt,
+    double guess, const char *paper, stats::Table &t)
+{
+    const double off = peakWithPf(cfg, pkt, false, false, guess);
+    t.row().cell(name)
+        .cell(peakWithPf(cfg, pkt, true, true, guess) / off, 2)
+        .cell(peakWithPf(cfg, pkt, true, false, guess) / off, 2)
+        .cell(peakWithPf(cfg, pkt, false, true, guess) / off, 2)
+        .cell(paper);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto spr = mem::sprConfig();
+    const int cores = 16;
+    stats::banner("Figure 20: packet rate relative to prefetch-off "
+                  "(SPR)");
+    stats::Table t({"config", "both_on", "host_on", "nic_on", "paper"});
+    row("CC-NIC 64B", ccnic::optimizedConfig(cores, 0, spr), 64,
+        28e6 * cores, "host_on ~1.2x", t);
+    row("CC-NIC 1.5KB", ccnic::optimizedConfig(cores, 0, spr), 1500,
+        2.6e6 * cores, "~1.0x", t);
+    row("Unopt 64B", ccnic::unoptimizedConfig(cores, 0, spr), 64,
+        4.5e6 * cores, "prefetch strictly hurts (to -7%)", t);
+    t.print();
+    return 0;
+}

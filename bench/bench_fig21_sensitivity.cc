@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 21 reproduction: CC-NIC and unoptimized-UPI sensitivity to
+ * interconnect latency (the CXL-expected 170-250ns range) and to
+ * interconnect bandwidth (uncore downclocking), on SPR.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+namespace {
+
+/** Probe host-to-NIC-socket access latency under a scaling factor. */
+double
+probeAccessNs(double lat_factor)
+{
+    auto spr = mem::sprConfig();
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, spr);
+    m.scaleRemotePerf(lat_factor, 1.0);
+    const mem::AgentId a = m.addAgent(0);
+    struct R
+    {
+        static sim::Task
+        run(sim::Simulator &simv, mem::CoherentSystem &m,
+            mem::AgentId a, double *out)
+        {
+            stats::Histogram h;
+            for (int i = 0; i < 32; ++i) {
+                mem::Addr addr = m.alloc(1, 256, 256);
+                const sim::Tick t0 = simv.now();
+                co_await m.load(a, addr, 8);
+                h.record(simv.now() - t0);
+                co_await simv.delay(sim::fromUs(1.0));
+            }
+            *out = sim::toNs(h.median());
+        }
+    };
+    double out = 0;
+    simv.spawn(R::run(simv, m, a, &out));
+    simv.run();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto spr = mem::sprConfig();
+
+    stats::banner("Figure 21a: 64B latency vs interconnect latency "
+                  "(SPR, 1 thread)");
+    stats::Table a({"lat_factor", "access_ns", "ccnic_min_ns",
+                    "unopt_min_ns", "paper"});
+    for (double f : {1.0, 1.11, 1.25, 1.45}) {
+        auto mkCc = [&] {
+            auto w = makeCcNicWorld(spr,
+                                    ccnic::optimizedConfig(1, 0, spr));
+            w->system.scaleRemotePerf(f, 1.0);
+            return w;
+        };
+        auto mkUn = [&] {
+            auto w = makeCcNicWorld(
+                spr, ccnic::unoptimizedConfig(1, 0, spr));
+            w->system.scaleRemotePerf(f, 1.0);
+            return w;
+        };
+        a.row().cell(f, 2).cell(probeAccessNs(f), 0)
+            .cell(minLatencyNs(mkCc), 0).cell(minLatencyNs(mkUn), 0)
+            .cell(f == 1.11
+                      ? "paper: 1.11x access -> 1.13x CC-NIC latency"
+                      : "-");
+    }
+    a.print();
+
+    stats::banner("Figure 21b: 1.5KB throughput vs interconnect "
+                  "bandwidth (SPR, 16 threads)");
+    stats::Table b({"bw_factor", "ccnic_Gbps", "unopt_Gbps", "paper"});
+    for (double f : {1.0, 0.75, 0.5, 0.4}) {
+        auto mkCc = [&] {
+            auto w = makeCcNicWorld(
+                spr, ccnic::optimizedConfig(16, 0, spr));
+            w->system.scaleRemotePerf(1.0, f);
+            return w;
+        };
+        auto mkUn = [&] {
+            auto w = makeCcNicWorld(
+                spr, ccnic::unoptimizedConfig(16, 0, spr));
+            w->system.scaleRemotePerf(1.0, f);
+            return w;
+        };
+        workload::LoopbackConfig lc;
+        lc.threads = 16;
+        lc.pktSize = 1500;
+        lc.window = sim::fromUs(100.0);
+        b.row().cell(f, 2)
+            .cell(findPeak(mkCc, lc, 2.6e6 * 16 * f).gbps, 1)
+            .cell(findPeak(mkUn, lc, 1.2e6 * 16 * f).gbps, 1)
+            .cell(f == 0.4 ? "paper: 40% bandwidth -> 39% throughput"
+                           : "-");
+    }
+    b.print();
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 1 reproduction: protocol bandwidth comparison (static data
+ * from the respective specifications) plus this model's calibrated
+ * effective data ceilings.
+ */
+
+#include "stats/table.hh"
+
+int
+main()
+{
+    ccn::stats::banner("Table 1: PCIe / CXL / UPI bandwidth");
+    ccn::stats::Table t({"protocol", "GT/s", "1-link GB/s",
+                         "max total GB/s", "model data ceiling"});
+    t.row().cell("PCIe 4.0").cell("16").cell("2.0").cell("31.5 (x16)")
+        .cell("252 Gbps (E810/CX6 link)");
+    t.row().cell("PCIe 5.0, CXL 1.0-2.0").cell("32").cell("3.9")
+        .cell("63.0 (x16)").cell("-");
+    t.row().cell("PCIe 6.0, CXL 3.0").cell("64").cell("7.6")
+        .cell("121 (x16)").cell("-");
+    t.row().cell("Ice Lake UPI").cell("11.2").cell("22.4")
+        .cell("67.2 (x3)").cell("443 Gbps cached reads");
+    t.row().cell("Sapphire Rapids UPI").cell("16").cell("48")
+        .cell("192 (x4)").cell("1020 Gbps cached reads");
+    t.print();
+    return 0;
+}

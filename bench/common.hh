@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every bench builds fresh simulated worlds per measurement point
+ * (deterministic, seeded) and prints measured values next to the
+ * paper's reported numbers so EXPERIMENTS.md can be assembled straight
+ * from bench output.
+ */
+
+#ifndef CCN_BENCH_COMMON_HH
+#define CCN_BENCH_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccnic/ccnic.hh"
+#include "mem/platform.hh"
+#include "nic/pcie_nic.hh"
+#include "stats/table.hh"
+#include "workload/loopback.hh"
+
+namespace ccn::bench {
+
+/** A self-contained simulated world for one measurement point. */
+struct World
+{
+    explicit World(const mem::PlatformConfig &plat)
+        : simv(), system(simv, plat), rng(7)
+    {}
+
+    sim::Simulator simv;
+    mem::CoherentSystem system;
+    sim::Rng rng;
+    std::unique_ptr<driver::NicInterface> nic;
+    ccnic::CcNic *ccnic = nullptr;   // Set when the NIC is a CcNic.
+    nic::PcieNic *pcie = nullptr;    // Set when the NIC is a PcieNic.
+};
+
+/** Build a world with a CC-NIC (or variant) attached. */
+inline std::unique_ptr<World>
+makeCcNicWorld(const mem::PlatformConfig &plat,
+               const ccnic::CcNicConfig &cfg, int host_socket = 0,
+               int nic_socket = 1)
+{
+    auto w = std::make_unique<World>(plat);
+    auto n = std::make_unique<ccnic::CcNic>(w->simv, w->system, cfg,
+                                            host_socket, nic_socket,
+                                            w->rng);
+    w->ccnic = n.get();
+    n->start();
+    w->nic = std::move(n);
+    return w;
+}
+
+/** Build a world with a PCIe NIC attached. */
+inline std::unique_ptr<World>
+makePcieWorld(const mem::PlatformConfig &plat,
+              const nic::NicParams &params, int queues)
+{
+    auto w = std::make_unique<World>(plat);
+    auto n = std::make_unique<nic::PcieNic>(w->simv, w->system, params,
+                                            queues, 0, w->rng);
+    w->pcie = n.get();
+    n->start();
+    w->nic = std::move(n);
+    return w;
+}
+
+/** Run one loopback point in a fresh world built by @p factory. */
+inline workload::LoopbackResult
+runPoint(const std::function<std::unique_ptr<World>()> &factory,
+         workload::LoopbackConfig cfg)
+{
+    auto w = factory();
+    return workload::runLoopback(w->simv, w->system, *w->nic, cfg);
+}
+
+/**
+ * Find the peak sustainable packet rate: sweep offered load on a
+ * geometric grid around @p guess_pps and return the best achieved
+ * rate (the paper's "maximum sustainable rate" methodology).
+ */
+inline workload::LoopbackResult
+findPeak(const std::function<std::unique_ptr<World>()> &factory,
+         workload::LoopbackConfig cfg, double guess_pps)
+{
+    workload::LoopbackResult best;
+    for (double f : {0.8, 1.0, 1.3}) {
+        cfg.offeredPps = guess_pps * f;
+        auto r = runPoint(factory, cfg);
+        if (r.achievedMpps > best.achievedMpps)
+            best = r;
+    }
+    return best;
+}
+
+/** Measure the closed-loop (window=1) minimum latency. */
+inline double
+minLatencyNs(const std::function<std::unique_ptr<World>()> &factory,
+             std::uint32_t pkt_size = 64)
+{
+    workload::LoopbackConfig cfg;
+    cfg.threads = 1;
+    cfg.pktSize = pkt_size;
+    cfg.closedWindow = 1;
+    cfg.window = sim::fromUs(250.0);
+    auto r = runPoint(factory, cfg);
+    return r.minNs;
+}
+
+/**
+ * Trace a throughput-latency curve: open-loop rates up to slightly
+ * past saturation. Returns (achievedMpps, medianNs) pairs.
+ */
+struct CurvePoint
+{
+    double offeredMpps, achievedMpps, medianNs, gbps;
+};
+
+inline std::vector<CurvePoint>
+traceCurve(const std::function<std::unique_ptr<World>()> &factory,
+           workload::LoopbackConfig cfg, double max_pps, int points = 7)
+{
+    std::vector<CurvePoint> out;
+    for (int i = 1; i <= points; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(points);
+        cfg.offeredPps = max_pps * frac * frac; // Dense near the knee.
+        auto r = runPoint(factory, cfg);
+        out.push_back({r.offeredMpps, r.achievedMpps, r.medianNs,
+                       r.gbps});
+    }
+    return out;
+}
+
+/** Latency at approximately the given fraction of peak load. */
+inline double
+latencyAtLoadNs(const std::function<std::unique_ptr<World>()> &factory,
+                workload::LoopbackConfig cfg, double peak_pps,
+                double fraction)
+{
+    cfg.offeredPps = peak_pps * fraction;
+    auto r = runPoint(factory, cfg);
+    return r.medianNs;
+}
+
+} // namespace ccn::bench
+
+#endif // CCN_BENCH_COMMON_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Example: the paper's §6 "Network Function Workloads" discussion as a
+ * runnable experiment. A packet-switching middlebox only inspects
+ * headers; over a coherent NIC the payload can stay in the NIC-side
+ * cache, so the interconnect carries only the header lines. This
+ * example forwards 1.5KB packets through CC-NIC twice — once touching
+ * the full payload, once header-only — and reports the interconnect
+ * bytes moved per packet.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "ccnic/ccnic.hh"
+#include "mem/platform.hh"
+
+using namespace ccn;
+
+namespace {
+
+struct Result
+{
+    double pkts = 0;
+    double upiBytesPerPkt = 0;
+};
+
+sim::Task
+forwarder(sim::Simulator &simv, mem::CoherentSystem &m,
+          ccnic::CcNic &nic, bool header_only, Result *out)
+{
+    const int q = 0;
+    const mem::AgentId agent = nic.hostAgent(q);
+    driver::PacketBuf *rx[32];
+    const sim::Tick end = simv.now() + sim::fromUs(300.0);
+    std::uint64_t recvd = 0;
+    m.resetStats();
+    const std::uint64_t upi0 = m.upiBytesInto(0) + m.upiBytesInto(1);
+
+    while (simv.now() < end) {
+        int nr = co_await nic.rxBurst(q, rx, 32);
+        if (nr > 0) {
+            // The middlebox decision: headers only vs full payload.
+            std::vector<mem::CoherentSystem::Span> spans;
+            for (int i = 0; i < nr; ++i) {
+                spans.push_back({rx[i]->addr,
+                                 header_only ? 64u : rx[i]->len});
+            }
+            co_await m.accessMulti(agent, spans, false);
+            // Forward: resubmit the same buffers to TX (the paper
+            // notes applications may submit RX buffers to TX queues).
+            int sent = 0;
+            while (sent < nr) {
+                int tx = co_await nic.txBurst(q, rx + sent, nr - sent);
+                if (tx == 0)
+                    co_await simv.delay(sim::fromNs(200.0));
+                sent += tx;
+            }
+            recvd += static_cast<std::uint64_t>(nr);
+        } else {
+            co_await nic.idleWait(q, std::min(end, simv.now() +
+                                                       sim::fromUs(5)));
+        }
+    }
+    out->pkts = static_cast<double>(recvd);
+    out->upiBytesPerPkt =
+        recvd ? static_cast<double>(m.upiBytesInto(0) +
+                                    m.upiBytesInto(1) - upi0) /
+                    static_cast<double>(recvd)
+              : 0.0;
+    co_return;
+}
+
+/** Wire-side generator: packets arrive from the network at 1Mpps. */
+sim::Task
+wireGen(sim::Simulator &simv, ccnic::CcNic &nic)
+{
+    for (int i = 0; i < 300; ++i) {
+        ccnic::WirePacket pkt;
+        pkt.len = 1500;
+        pkt.txTime = simv.now();
+        pkt.userData = static_cast<std::uint64_t>(i);
+        nic.injectRx(0, pkt);
+        co_await simv.delay(sim::fromUs(1.0));
+    }
+}
+
+Result
+run(bool header_only)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, mem::icxConfig());
+    sim::Rng rng(2);
+    auto cfg = ccnic::optimizedConfig(1, 0, m.config());
+    cfg.loopback = false; // Forwarded packets leave on the wire.
+    ccnic::CcNic nic(simv, m, cfg, 0, 1, rng);
+    nic.setTxSink([](int, const ccnic::WirePacket &) {});
+    nic.start();
+    Result r;
+    simv.spawn(wireGen(simv, nic));
+    simv.spawn(forwarder(simv, m, nic, header_only, &r));
+    simv.run(sim::fromUs(500.0));
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Result full = run(false);
+    const Result hdr = run(true);
+    std::printf("1.5KB middlebox over CC-NIC (ICX, 1 queue):\n");
+    std::printf("  full-payload access: %5.0f pkts, %6.0f UPI "
+                "bytes/pkt\n",
+                full.pkts, full.upiBytesPerPkt);
+    std::printf("  header-only access:  %5.0f pkts, %6.0f UPI "
+                "bytes/pkt\n",
+                hdr.pkts, hdr.upiBytesPerPkt);
+    std::printf("Header-only switching moves %.1fx fewer bytes across "
+                "the interconnect\n(the paper's Sec 6 argument: a "
+                "coherent NIC can retain payloads in its cache\nwhile "
+                "the host touches only headers).\n",
+                full.upiBytesPerPkt / std::max(1.0, hdr.upiBytesPerPkt));
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CliqueMap-style key-value store server (§5.7).
+ *
+ * Server threads poll NIC RX queues and handle GET/SET RPCs against a
+ * hash index in simulated memory. GETs are zero-copy: the response is
+ * a header buffer with the object payload attached as a second
+ * segment (the DPDK extbuf pattern), so each TX descriptor carries two
+ * buffer addresses. Clients live on the far side of a rate-capped wire
+ * model standing in for the CX6's 2x100GbE ports.
+ */
+
+#ifndef CCN_APPS_KVSTORE_HH
+#define CCN_APPS_KVSTORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ccnic/ccnic.hh"
+#include "driver/nic_iface.hh"
+#include "mem/coherence.hh"
+#include "sim/random.hh"
+#include "workload/dists.hh"
+
+namespace ccn::apps {
+
+/** Rate-capped full-duplex wire (the CX6 2x100GbE stand-in). */
+class WireModel
+{
+  public:
+    WireModel(sim::Simulator &sim, double pps_cap, double bytes_per_sec)
+        : pps(sim, pps_cap), bytes(sim, bytes_per_sec)
+    {}
+
+    /**
+     * Admit one packet; returns its wire-exit time. Multi-segment
+     * packets consume one descriptor/WQE slot per segment (§5.7: the
+     * extbuf GET path stresses the NIC's descriptor rate).
+     */
+    sim::Tick
+    admit(std::uint32_t len, std::uint32_t segments = 1)
+    {
+        const sim::Tick a = pps.reserve(segments);
+        const sim::Tick b = bytes.reserve(len);
+        return std::max(a, b);
+    }
+
+    sim::CalendarResource pps;
+    sim::CalendarResource bytes;
+};
+
+/** KV store configuration. */
+struct KvConfig
+{
+    std::uint64_t numObjects = 1u << 20;
+    double zipf = 0.75;
+    double getFraction = 0.95;
+    workload::SizeDist sizes = workload::SizeDist::ads();
+    int serverThreads = 8;
+    double offeredOps = 100e6; ///< Client offered load (beyond peak).
+    std::uint32_t requestBytes = 64;
+    std::uint32_t headerBytes = 32;
+    sim::Tick warmup = sim::fromUs(50.0);
+    sim::Tick window = sim::fromUs(200.0);
+    double parseCycles = 200; ///< Request parse + RPC dispatch.
+    double indexCycles = 80;  ///< Hash + bucket walk computation.
+    std::uint64_t seed = 11;
+};
+
+/** Result of one KV measurement point. */
+struct KvResult
+{
+    double mopsPerSec = 0;
+    double gbpsOut = 0;
+    std::uint64_t served = 0;
+};
+
+/**
+ * Run the KV server on @p nic (already started, external wire mode
+ * will be configured by this harness) and measure peak served
+ * throughput.
+ *
+ * @param inject Function injecting a request packet into server queue
+ *               q (the NIC's RX path).
+ */
+KvResult runKvStore(sim::Simulator &sim, mem::CoherentSystem &mem_system,
+                    driver::NicInterface &nic,
+                    std::function<void(int, const ccnic::WirePacket &)>
+                        inject,
+                    std::function<void(
+                        std::function<void(int,
+                                           const ccnic::WirePacket &)>)>
+                        set_tx_sink,
+                    WireModel &wire, const KvConfig &cfg);
+
+} // namespace ccn::apps
+
+#endif // CCN_APPS_KVSTORE_HH

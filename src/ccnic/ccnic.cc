@@ -1,0 +1,984 @@
+#include "ccnic/ccnic.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccn::ccnic {
+
+using driver::BufClass;
+using driver::PacketBuf;
+using driver::RingLayout;
+using driver::SignalMode;
+using mem::Addr;
+using sim::Tick;
+
+namespace {
+
+/** Host-managed RX slot states carried in Slot::meta. */
+constexpr std::uint64_t kRxEmpty = 0;
+constexpr std::uint64_t kRxPosted = 1;
+constexpr std::uint64_t kRxCompleted = 2;
+/// Consumer-private marker: taken but the group's clear has not been
+/// published yet (bursts may stop mid-group).
+constexpr std::uint64_t kConsumed = 3;
+
+} // namespace
+
+namespace {
+
+/** Size the pool to the queue count: ring occupancy plus recycle
+ *  stacks on both sides plus generator headroom per queue. */
+void
+sizePool(CcNicConfig &cfg)
+{
+    const std::uint32_t q = static_cast<std::uint32_t>(cfg.numQueues);
+    const std::uint32_t per_q =
+        cfg.ringEntries * 2 + 2 * cfg.pool.recycleDepth + 256;
+    cfg.pool.largeCount = std::max<std::uint32_t>(2048, q * per_q);
+    cfg.pool.smallCount = std::max<std::uint32_t>(8192, q * per_q);
+    cfg.pool.stripes = cfg.numQueues;
+}
+
+} // namespace
+
+CcNicConfig
+optimizedConfig(int num_queues, int host_socket)
+{
+    CcNicConfig cfg;
+    cfg.numQueues = num_queues;
+    cfg.layout = RingLayout::Grouped;
+    cfg.signal = SignalMode::Inline;
+    cfg.nicHomedRx = true;
+    cfg.nicBufferMgmt = true;
+    cfg.pool.sharedAccess = true;
+    cfg.pool.recycleCache = true;
+    cfg.pool.smallBuffers = true;
+    cfg.pool.nonSequentialFill = true;
+    cfg.pool.homeSocket = host_socket;
+    sizePool(cfg);
+    return cfg;
+}
+
+CcNicConfig
+unoptimizedConfig(int num_queues, int host_socket)
+{
+    CcNicConfig cfg;
+    cfg.numQueues = num_queues;
+    // E810 interface verbatim over coherent memory (§5.1): packed 16B
+    // descriptors, register doorbells, host-managed 2KB buffers, all
+    // structures in host memory.
+    cfg.layout = RingLayout::Packed;
+    cfg.signal = SignalMode::Register;
+    cfg.nicHomedRx = false;
+    cfg.nicBufferMgmt = false;
+    cfg.pool.sharedAccess = false;
+    cfg.pool.recycleCache = false;
+    cfg.pool.smallBuffers = false;
+    cfg.pool.nonSequentialFill = false;
+    cfg.pool.largeBufBytes = 2048;
+    cfg.pool.homeSocket = host_socket;
+    cfg.nicPipelined = false;
+    sizePool(cfg);
+    return cfg;
+}
+
+driver::CpuCosts
+platformCosts(const mem::PlatformConfig &plat)
+{
+    driver::CpuCosts c;
+    if (plat.name == "SPR") {
+        // Leaner per-packet software on SPR (§5.3: 1520Mpps across 56
+        // cores while the interconnect, not the cores, saturates).
+        c.perLoop = 14;
+        c.perPktTx = 9;
+        c.perPktRx = 8;
+        c.perDesc = 3;
+        c.perAllocFree = 4;
+    } else {
+        // ICX: ~21Mpps/core saturated (330Mpps, core-limited, §5.3).
+        c.perLoop = 28;
+        c.perPktTx = 32;
+        c.perPktRx = 28;
+        c.perDesc = 9;
+        c.perAllocFree = 9;
+    }
+    return c;
+}
+
+CcNicConfig
+optimizedConfig(int num_queues, int host_socket,
+                const mem::PlatformConfig &plat)
+{
+    CcNicConfig cfg = optimizedConfig(num_queues, host_socket);
+    cfg.hostCosts = platformCosts(plat);
+    cfg.nicCosts = platformCosts(plat);
+    return cfg;
+}
+
+CcNicConfig
+unoptimizedConfig(int num_queues, int host_socket,
+                  const mem::PlatformConfig &plat)
+{
+    CcNicConfig cfg = unoptimizedConfig(num_queues, host_socket);
+    cfg.hostCosts = platformCosts(plat);
+    cfg.nicCosts = platformCosts(plat);
+    return cfg;
+}
+
+CcNic::Queue::Queue(sim::Simulator &sim, mem::CoherentSystem &m,
+                    const CcNicConfig &cfg, int host_socket,
+                    int nic_socket)
+    : hostAgent(m.addAgent(host_socket)),
+      nicAgent(m.addAgent(nic_socket)),
+      tx(m, host_socket, cfg.ringEntries, cfg.layout),
+      rx(m, cfg.nicHomedRx ? nic_socket : host_socket, cfg.ringEntries,
+         cfg.layout),
+      txTail(m, host_socket),
+      txHead(m, host_socket),
+      rxTail(m, cfg.nicHomedRx ? nic_socket : host_socket),
+      rxHead(m, host_socket),
+      txShadow(cfg.ringEntries, nullptr),
+      rxInput(sim),
+      coreLock(sim, 1),
+      wireDrained(sim)
+{}
+
+CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
+             const CcNicConfig &config, int host_socket, int nic_socket,
+             sim::Rng &rng)
+    : sim_(sim), mem_(mem_system), cfg_(config),
+      hostSocket_(host_socket), nicSocket_(nic_socket)
+{
+    cfg_.pool.homeSocket = host_socket;
+    // Keep NIC batches group-aligned so clears land on line boundaries.
+    cfg_.nicBatch = std::max(4, (cfg_.nicBatch / 4) * 4);
+    pool_ = std::make_unique<driver::Mempool>(mem_, cfg_.pool, rng);
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        queues_.push_back(std::make_unique<Queue>(
+            sim_, mem_, cfg_, hostSocket_, nicSocket_));
+    }
+}
+
+void
+CcNic::start()
+{
+    assert(!started_);
+    started_ = true;
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        sim_.spawn(nicTxTask(q));
+        sim_.spawn(nicRxTask(q));
+    }
+}
+
+mem::AgentId
+CcNic::hostAgent(int q) const
+{
+    return queues_[q]->hostAgent;
+}
+
+mem::AgentId
+CcNic::nicAgent(int q) const
+{
+    return queues_[q]->nicAgent;
+}
+
+void
+CcNic::deliverTx(int q, const WirePacket &pkt)
+{
+    txCount_++;
+    if (!cfg_.loopback && txSink_) {
+        txSink_(q, pkt);
+        return;
+    }
+    if (cfg_.wireLat == 0) {
+        queues_[q]->rxInput.put(pkt);
+    } else {
+        Queue *queue = queues_[q].get();
+        sim_.scheduleCallback(sim_.now() + cfg_.wireLat,
+                              [queue, pkt] { queue->rxInput.put(pkt); });
+    }
+}
+
+void
+CcNic::injectRx(int q, const WirePacket &pkt)
+{
+    queues_[q]->rxInput.put(pkt);
+}
+
+sim::Coro<int>
+CcNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs, int count)
+{
+    Queue &queue = *queues_[q];
+    co_await sim_.delay(
+        cycles(cfg_.hostCosts.perAllocFree * std::max(1, count / 8)));
+    int got = co_await pool_->allocBurst(queue.hostAgent, size, bufs,
+                                         count, q);
+    co_return got;
+}
+
+sim::Coro<void>
+CcNic::freeBufs(int q, PacketBuf **bufs, int count)
+{
+    Queue &queue = *queues_[q];
+    co_await sim_.delay(
+        cycles(cfg_.hostCosts.perAllocFree * std::max(1, count / 8)));
+    co_await pool_->freeBurst(queue.hostAgent, bufs, count, q);
+    co_return;
+}
+
+sim::Coro<int>
+CcNic::txBurst(int q, PacketBuf **bufs, int count)
+{
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.hostCosts;
+    const std::uint32_t per_line = queue.tx.perLine();
+    co_await sim_.delay(cycles(costs.perLoop));
+
+    // Host-managed mode: reap TX completions (bookkeeping pass the
+    // shared pool eliminates, §3.4).
+    if (!cfg_.nicBufferMgmt) {
+        std::vector<mem::CoherentSystem::Span> scan_spans;
+        std::vector<PacketBuf *> to_free;
+        Addr last_line = ~Addr{0};
+        if (cfg_.signal == SignalMode::Register) {
+            if (queue.txFreeScan !=
+                static_cast<std::uint32_t>(queue.txHead.value())) {
+                co_await mem_.load(queue.hostAgent,
+                                   queue.txHead.addr(), 8);
+                queue.hostTxHeadCache = queue.txHead.value();
+            }
+            while (queue.txFreeScan !=
+                   static_cast<std::uint32_t>(queue.hostTxHeadCache)) {
+                PacketBuf *b = queue.txShadow[queue.txFreeScan &
+                                              queue.tx.mask()];
+                if (b)
+                    to_free.push_back(b);
+                queue.txShadow[queue.txFreeScan & queue.tx.mask()] =
+                    nullptr;
+                queue.txFreeScan++;
+            }
+        } else {
+            while (queue.txFreeScan != queue.txProd &&
+                   !queue.tx.slot(queue.txFreeScan).ready) {
+                const Addr l = queue.tx.lineOf(queue.txFreeScan);
+                if (l != last_line) {
+                    scan_spans.push_back({l, mem::kLineBytes});
+                    last_line = l;
+                }
+                PacketBuf *b = queue.txShadow[queue.txFreeScan &
+                                              queue.tx.mask()];
+                if (b)
+                    to_free.push_back(b);
+                queue.txShadow[queue.txFreeScan & queue.tx.mask()] =
+                    nullptr;
+                queue.txFreeScan++;
+            }
+            if (!scan_spans.empty())
+                co_await mem_.accessMulti(queue.hostAgent, scan_spans,
+                                          false);
+        }
+        if (!to_free.empty()) {
+            co_await pool_->freeBurst(queue.hostAgent, to_free.data(),
+                                      static_cast<int>(to_free.size()),
+                                      q);
+        }
+    }
+
+    // Capacity under register signaling: reload the head register
+    // when the cached view looks full.
+    if (cfg_.signal == SignalMode::Register) {
+        auto space = [&] {
+            return queue.tx.entries() - 1 -
+                   (queue.txProd -
+                    static_cast<std::uint32_t>(queue.hostTxHeadCache));
+        };
+        if (space() < static_cast<std::uint32_t>(count)) {
+            co_await mem_.load(queue.hostAgent, queue.txHead.addr(), 8);
+            queue.hostTxHeadCache = queue.txHead.value();
+        }
+        count = std::min<std::uint32_t>(count, space());
+    }
+
+    // Gather writable slots.
+    struct Pending
+    {
+        std::uint32_t idx;
+        PacketBuf *buf;
+    };
+    std::vector<Pending> pending;
+    std::vector<mem::CoherentSystem::Span> spans;
+    Addr last_line = ~Addr{0};
+    std::uint32_t idx = queue.txProd;
+    for (int i = 0; i < count; ++i) {
+        if (cfg_.signal == SignalMode::Inline &&
+            queue.tx.slot(idx).ready) {
+            break; // Ring full: the consumer has not cleared yet.
+        }
+        pending.push_back({idx, bufs[i]});
+        const Addr l = queue.tx.lineOf(idx);
+        if (l != last_line) {
+            spans.push_back({l, mem::kLineBytes});
+            last_line = l;
+        }
+        idx++;
+    }
+    if (pending.empty())
+        co_return 0;
+
+    // Grouped layout: a partial final group is zero-padded and the
+    // producer skips to the next line (§3.2).
+    if (cfg_.layout == RingLayout::Grouped &&
+        cfg_.signal == SignalMode::Inline && (idx % per_line) != 0) {
+        idx = queue.tx.groupBase(idx) + per_line;
+    }
+
+    co_await sim_.delay(cycles((costs.perPktTx + costs.perDesc) *
+                               static_cast<double>(pending.size())));
+    // Posted stores: the core retires immediately; descriptor flags
+    // (and, in register mode, the tail value — TSO orders it after the
+    // descriptor stores) become visible at store completion.
+    queue.txProd = idx;
+    {
+        Queue *qp = &queue;
+        const bool shadow = !cfg_.nicBufferMgmt;
+        const bool reg = cfg_.signal == SignalMode::Register;
+        const std::uint64_t tail_val = queue.txProd;
+        if (reg)
+            spans.push_back({queue.txTail.addr(), 8});
+        auto publish = [qp, shadow, reg, tail_val, pending]() {
+            for (const Pending &p : pending) {
+                auto &slot = qp->tx.slot(p.idx);
+                slot.buf = p.buf;
+                slot.len = p.buf->wireLen();
+                slot.ready = true;
+                if (shadow)
+                    qp->txShadow[p.idx & qp->tx.mask()] = p.buf;
+            }
+            if (reg)
+                qp->txTail.publish(tail_val);
+        };
+        co_await mem_.postMulti(queue.hostAgent, spans,
+                                std::move(publish));
+    }
+    if (cfg_.signal == SignalMode::Inline && cfg_.nicBufferMgmt) {
+        // Read-ahead the ring lines the next burst will use: the
+        // capacity check doubles as a migratory ownership grant, so
+        // the next burst's descriptor stores hit locally (§3.2).
+        const std::uint32_t lines_written =
+            static_cast<std::uint32_t>(spans.size());
+        for (std::uint32_t k = 0; k < lines_written; ++k) {
+            mem_.touchLine(queue.hostAgent,
+                           queue.tx.lineOf(queue.txProd +
+                                           k * per_line));
+        }
+    }
+    co_return static_cast<int>(pending.size());
+}
+
+sim::Coro<int>
+CcNic::rxBurst(int q, PacketBuf **bufs, int count)
+{
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.hostCosts;
+    const std::uint32_t per_line = queue.rx.perLine();
+    co_await sim_.delay(cycles(costs.perLoop));
+
+    int collected = 0;
+    std::vector<mem::CoherentSystem::Span> load_spans;
+    std::vector<mem::CoherentSystem::Span> clear_spans;
+    Addr last_load = ~Addr{0};
+
+    auto note_load = [&](std::uint32_t i) {
+        const Addr l = queue.rx.lineOf(i);
+        if (l != last_load) {
+            load_spans.push_back({l, mem::kLineBytes});
+            last_load = l;
+        }
+    };
+
+    if (cfg_.nicBufferMgmt) {
+        std::uint32_t idx = queue.rxCons;
+        if (cfg_.signal == SignalMode::Register) {
+            // Register mode: consume strictly up to the cached tail,
+            // reloading the tail register when it looks empty.
+            if (idx == static_cast<std::uint32_t>(
+                           queue.hostRxTailCache)) {
+                co_await mem_.load(queue.hostAgent,
+                                   queue.rxTail.addr(), 8);
+                queue.hostRxTailCache = queue.rxTail.value();
+            }
+            while (collected < count &&
+                   idx != static_cast<std::uint32_t>(
+                              queue.hostRxTailCache)) {
+                auto &slot = queue.rx.slot(idx);
+                if (!slot.ready)
+                    break; // Publish still in flight.
+                note_load(idx);
+                bufs[collected++] = slot.buf;
+                slot.buf = nullptr;
+                slot.ready = false;
+                slot.meta = kRxEmpty;
+                idx++;
+            }
+        } else {
+            // CC-NIC path: NIC wrote descriptors; consume, then clear
+            // the fully-passed lines (the two-way inline signal,
+            // §3.2).
+            while (collected < count) {
+                auto &slot = queue.rx.slot(idx);
+                if (slot.ready && slot.meta != kConsumed) {
+                    note_load(idx);
+                    bufs[collected++] = slot.buf;
+                    slot.meta = kConsumed;
+                    idx++;
+                    continue;
+                }
+                if (!slot.ready &&
+                    cfg_.layout == RingLayout::Grouped &&
+                    (idx % per_line) != 0) {
+                    // Blank mid-group: producer skipped the rest.
+                    idx = queue.rx.groupBase(idx) + per_line;
+                    continue;
+                }
+                break;
+            }
+        }
+        if (collected == 0)
+            co_return 0;
+        queue.rxCons = idx;
+
+        co_await mem_.accessMulti(queue.hostAgent, load_spans, false);
+
+        if (cfg_.signal == SignalMode::Inline) {
+            // Clear every line the consumer has fully passed.
+            const std::uint32_t limit = queue.rx.groupBase(idx);
+            Addr last_clear = ~Addr{0};
+            for (std::uint32_t i = queue.rxClearScan; i != limit; ++i) {
+                const Addr l = queue.rx.lineOf(i);
+                if (l != last_clear) {
+                    clear_spans.push_back({l, mem::kLineBytes});
+                    last_clear = l;
+                }
+            }
+            if (!clear_spans.empty()) {
+                Queue *qp = &queue;
+                const std::uint32_t from = queue.rxClearScan;
+                auto publish = [qp, from, limit]() {
+                    for (std::uint32_t i = from; i != limit; ++i) {
+                        auto &slot = qp->rx.slot(i);
+                        slot.ready = false;
+                        slot.meta = kRxEmpty;
+                        slot.buf = nullptr;
+                    }
+                };
+                co_await mem_.postMulti(queue.hostAgent, clear_spans,
+                                        std::move(publish));
+                queue.rxClearScan = limit;
+            }
+        } else {
+            Queue *qp = &queue;
+            const std::uint64_t v = queue.rxCons;
+            std::vector<mem::CoherentSystem::Span> reg{
+                {queue.rxHead.addr(), 8}};
+            co_await mem_.postMulti(queue.hostAgent, reg,
+                                    [qp, v] { qp->rxHead.publish(v); });
+        }
+    } else {
+        // Host-managed path (PCIe-style): consume completed slots and
+        // repost blank buffers.
+        std::uint32_t idx = queue.rxCons;
+        std::vector<std::uint32_t> reposted;
+        while (collected < count &&
+               queue.rx.slot(idx).meta == kRxCompleted) {
+            note_load(idx);
+            bufs[collected++] = queue.rx.slot(idx).buf;
+            queue.rx.slot(idx).meta = kRxEmpty;
+            queue.rx.slot(idx).buf = nullptr;
+            queue.rx.slot(idx).ready = false;
+            idx++;
+        }
+        if (collected > 0)
+            co_await mem_.accessMulti(queue.hostAgent, load_spans,
+                                      false);
+        queue.rxCons = idx;
+
+        // Repost: keep the ring full of blanks (bursted allocation).
+        std::vector<mem::CoherentSystem::Span> post_spans;
+        Addr last_post = ~Addr{0};
+        std::vector<std::pair<std::uint32_t, PacketBuf *>> posts;
+        const std::uint32_t avail_slots =
+            queue.rx.entries() - per_line -
+            (queue.rxPostProd - queue.rxCons);
+        if (avail_slots > 0 && avail_slots <= queue.rx.entries()) {
+            std::vector<PacketBuf *> blanks(avail_slots, nullptr);
+            const int got = co_await pool_->allocBurst(
+                queue.hostAgent, cfg_.pool.largeBufBytes,
+                blanks.data(), static_cast<int>(avail_slots), q);
+            for (int i = 0; i < got; ++i) {
+                posts.emplace_back(queue.rxPostProd, blanks[i]);
+                const Addr l = queue.rx.lineOf(queue.rxPostProd);
+                if (l != last_post) {
+                    post_spans.push_back({l, mem::kLineBytes});
+                    last_post = l;
+                }
+                queue.rxPostProd++;
+            }
+        }
+        if (!posts.empty()) {
+            Queue *qp = &queue;
+            auto publish = [qp, posts]() {
+                for (const auto &[i, b] : posts) {
+                    auto &slot = qp->rx.slot(i);
+                    slot.buf = b;
+                    slot.meta = kRxPosted;
+                }
+            };
+            co_await mem_.postMulti(queue.hostAgent, post_spans,
+                                    std::move(publish));
+            if (cfg_.signal == SignalMode::Register) {
+                co_await mem_.store(queue.hostAgent,
+                                    queue.rxHead.addr(), 8);
+                queue.rxHead.publish(queue.rxPostProd);
+            }
+        }
+    }
+
+    if (collected > 0) {
+        co_await sim_.delay(
+            cycles((costs.perPktRx + costs.perDesc) * collected));
+    }
+    co_return collected;
+}
+
+sim::Coro<void>
+CcNic::idleWait(int q, Tick deadline)
+{
+    Queue &queue = *queues_[q];
+    Addr watch;
+    if (cfg_.signal == SignalMode::Register && cfg_.nicBufferMgmt)
+        watch = queue.rxTail.addr();
+    else
+        watch = queue.rx.lineOf(queue.rxCons);
+    co_await mem_.waitLineChangeUntil(watch, mem_.lineVersion(watch),
+                                      deadline);
+    co_return;
+}
+
+sim::Task
+CcNic::nicTxTask(int q)
+{
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.nicCosts;
+    const std::uint32_t per_line = queue.tx.perLine();
+
+    for (;;) {
+        // Wait for work.
+        if (cfg_.signal == SignalMode::Inline) {
+            const Addr line = queue.tx.lineOf(queue.txCons);
+            co_await mem_.load(queue.nicAgent, line, mem::kLineBytes);
+            auto &head = queue.tx.slot(queue.txCons);
+            if (!head.ready || head.meta == kConsumed) {
+                co_await mem_.waitLineChange(line,
+                                             mem_.lineVersion(line));
+                continue;
+            }
+        } else {
+            if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
+                queue.txCons) {
+                const Addr line = queue.txTail.addr();
+                co_await mem_.load(queue.nicAgent, line, 8);
+                queue.nicTxTailCache = queue.txTail.value();
+                if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
+                    queue.txCons) {
+                    co_await mem_.waitLineChange(
+                        line, mem_.lineVersion(line));
+                    continue;
+                }
+            }
+        }
+
+        // Internal flow control: the device does not pull more TX work
+        // while its RX side is backlogged (hardware NICs apply the
+        // same internal buffering limits).
+        while (cfg_.loopback &&
+               queue.rxInput.size() >=
+                   static_cast<std::size_t>(cfg_.nicBatch) * 2) {
+            co_await queue.wireDrained.wait();
+        }
+
+        co_await queue.coreLock.acquire();
+
+        // Gather a batch of submitted descriptors.
+        struct Taken
+        {
+            std::uint32_t idx;
+            PacketBuf *buf;
+            std::uint32_t len;
+        };
+        std::vector<Taken> batch;
+        std::vector<mem::CoherentSystem::Span> desc_spans;
+        Addr last_line = ~Addr{0};
+        std::uint32_t idx = queue.txCons;
+
+        auto note_desc = [&](std::uint32_t i) {
+            const Addr l = queue.tx.lineOf(i);
+            if (l != last_line) {
+                desc_spans.push_back({l, mem::kLineBytes});
+                last_line = l;
+            }
+        };
+
+        if (cfg_.signal == SignalMode::Inline) {
+            while (static_cast<int>(batch.size()) < cfg_.nicBatch) {
+                auto &slot = queue.tx.slot(idx);
+                if (slot.ready && slot.meta != kConsumed) {
+                    note_desc(idx);
+                    batch.push_back({idx, slot.buf, slot.len});
+                    slot.meta = kConsumed;
+                    idx++;
+                    continue;
+                }
+                if (!slot.ready &&
+                    cfg_.layout == RingLayout::Grouped &&
+                    (idx % per_line) != 0) {
+                    idx = queue.tx.groupBase(idx) + per_line;
+                    continue;
+                }
+                break;
+            }
+        } else {
+            while (static_cast<int>(batch.size()) < cfg_.nicBatch &&
+                   idx !=
+                       static_cast<std::uint32_t>(queue.nicTxTailCache)) {
+                auto &slot = queue.tx.slot(idx);
+                if (!slot.ready)
+                    break; // Publish still in flight.
+                note_desc(idx);
+                batch.push_back({idx, slot.buf, slot.len});
+                slot.buf = nullptr;
+                slot.ready = false;
+                idx++;
+            }
+        }
+
+        if (batch.empty()) {
+            queue.coreLock.release();
+            continue;
+        }
+
+        // Descriptor and payload reads. The CC-NIC engine pipelines
+        // across the whole batch; the E810-emulation baseline handles
+        // one descriptor at a time, serializing the address-dependent
+        // descriptor-then-payload chain (§5.1).
+        if (cfg_.nicPipelined) {
+            co_await mem_.accessMulti(queue.nicAgent, desc_spans,
+                                      false);
+            std::vector<mem::CoherentSystem::Span> payload_spans;
+            for (const Taken &t : batch) {
+                payload_spans.push_back({t.buf->addr, t.buf->len});
+                if (t.buf->nextSeg) {
+                    payload_spans.push_back(
+                        {t.buf->nextSeg->addr, t.buf->segLen});
+                }
+            }
+            co_await mem_.accessMulti(queue.nicAgent, payload_spans,
+                                      false);
+        } else {
+            for (const Taken &t : batch) {
+                co_await mem_.load(queue.nicAgent,
+                                   queue.tx.addrOf(t.idx), 16);
+                std::vector<mem::CoherentSystem::Span> one{
+                    {t.buf->addr, t.buf->len}};
+                if (t.buf->nextSeg)
+                    one.push_back({t.buf->nextSeg->addr, t.buf->segLen});
+                co_await mem_.accessMulti(queue.nicAgent, one, false);
+            }
+        }
+        co_await sim_.delay(
+            cycles((costs.perPktRx + costs.perDesc) *
+                   static_cast<double>(batch.size())));
+
+        // Signal consumption.
+        queue.txCons = idx;
+        if (cfg_.signal == SignalMode::Inline) {
+            std::vector<mem::CoherentSystem::Span> clear_spans;
+            Addr last_clear = ~Addr{0};
+            const std::uint32_t limit = queue.tx.groupBase(idx);
+            for (std::uint32_t i = queue.txClearScan; i != limit; ++i) {
+                const Addr l = queue.tx.lineOf(i);
+                if (l != last_clear) {
+                    clear_spans.push_back({l, mem::kLineBytes});
+                    last_clear = l;
+                }
+            }
+            if (!clear_spans.empty()) {
+                Queue *qp = &queue;
+                const std::uint32_t from = queue.txClearScan;
+                auto publish = [qp, from, limit]() {
+                    for (std::uint32_t i = from; i != limit; ++i) {
+                        auto &slot = qp->tx.slot(i);
+                        slot.ready = false;
+                        slot.meta = kRxEmpty;
+                        slot.buf = nullptr;
+                    }
+                };
+                co_await mem_.postMulti(queue.nicAgent, clear_spans,
+                                        std::move(publish));
+            }
+            queue.txClearScan = limit;
+        } else {
+            Queue *qp = &queue;
+            const std::uint64_t v = queue.txCons;
+            std::vector<mem::CoherentSystem::Span> reg{
+                {queue.txHead.addr(), 8}};
+            co_await mem_.postMulti(queue.nicAgent, reg,
+                                    [qp, v] { qp->txHead.publish(v); });
+        }
+
+        // Hand to the wire before buffer release (segment metadata is
+        // consumed by delivery).
+        for (const Taken &t : batch) {
+            if (!t.buf)
+                continue;
+            WirePacket pkt{t.len, t.buf->txTime, t.buf->flowId,
+                           t.buf->userData, 1};
+            if (t.buf->nextSeg)
+                pkt.segments = 2;
+            deliverTx(q, pkt);
+        }
+
+        // Buffer management: the NIC returns TX buffers to the shared
+        // pool (§3.4); in host-managed mode the host reaps instead.
+        if (cfg_.nicBufferMgmt) {
+            std::vector<PacketBuf *> frees;
+            for (const Taken &t : batch) {
+                if (t.buf) {
+                    if (t.buf->nextSeg)
+                        t.buf->nextSeg = nullptr;
+                    frees.push_back(t.buf);
+                }
+            }
+            if (!frees.empty())
+                co_await pool_->freeBurst(queue.nicAgent, frees.data(),
+                                          static_cast<int>(
+                                              frees.size()),
+                                          q);
+        }
+
+        queue.coreLock.release();
+    }
+}
+
+sim::Task
+CcNic::nicRxTask(int q)
+{
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.nicCosts;
+    const std::uint32_t per_line = queue.rx.perLine();
+
+    for (;;) {
+        WirePacket first = co_await queue.rxInput.get();
+        co_await queue.coreLock.acquire();
+
+        std::vector<WirePacket> batch{first};
+        while (static_cast<int>(batch.size()) < cfg_.nicBatch &&
+               !queue.rxInput.empty()) {
+            batch.push_back(co_await queue.rxInput.get());
+        }
+
+        if (cfg_.nicBufferMgmt) {
+            // Allocate RX buffers NIC-side, size-aware (§3.4). The
+            // recycling stacks make these the most recently freed TX
+            // buffers, still in the NIC cache (§3.3).
+            std::vector<PacketBuf *> out(batch.size(), nullptr);
+            // Burst-allocate per size class (§3.4: the NIC assigns
+            // buffers with knowledge of the whole burst).
+            const std::uint32_t small_cap =
+                cfg_.pool.smallBuffers ? cfg_.pool.smallBufBytes : 0;
+            for (int pass = 0; pass < 2; ++pass) {
+                std::vector<std::size_t> want;
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    const bool is_small = batch[i].len <= small_cap;
+                    if ((pass == 0) == is_small)
+                        want.push_back(i);
+                }
+                if (want.empty())
+                    continue;
+                std::vector<PacketBuf *> got(want.size(), nullptr);
+                const std::uint32_t hint =
+                    pass == 0 ? small_cap : cfg_.pool.largeBufBytes;
+                int n = co_await pool_->allocBurst(
+                    queue.nicAgent, hint, got.data(),
+                    static_cast<int>(got.size()), q);
+                for (int k = 0; k < n; ++k)
+                    out[want[static_cast<std::size_t>(k)]] = got[k];
+            }
+
+            // Wait for ring space if the host is behind.
+            while (true) {
+                std::uint32_t needed = 0;
+                for (std::size_t i = 0; i < batch.size(); ++i)
+                    needed += out[i] != nullptr;
+                if (needed == 0)
+                    break;
+                const std::uint32_t last_slot =
+                    queue.rxProd + needed - 1;
+                auto &slot = queue.rx.slot(last_slot);
+                if (cfg_.signal == SignalMode::Inline) {
+                    if (!slot.ready)
+                        break;
+                    const Addr line = queue.rx.lineOf(last_slot);
+                    co_await mem_.waitLineChange(
+                        line, mem_.lineVersion(line));
+                } else {
+                    const std::uint32_t space =
+                        queue.rx.entries() - 1 -
+                        (queue.rxProd -
+                         static_cast<std::uint32_t>(
+                             queue.nicRxHeadCache));
+                    if (space >= needed)
+                        break;
+                    const Addr line = queue.rxHead.addr();
+                    co_await mem_.load(queue.nicAgent, line, 8);
+                    queue.nicRxHeadCache = queue.rxHead.value();
+                    if (queue.rx.entries() - 1 -
+                            (queue.rxProd -
+                             static_cast<std::uint32_t>(
+                                 queue.nicRxHeadCache)) <
+                        needed) {
+                        co_await mem_.waitLineChange(
+                            line, mem_.lineVersion(line));
+                    }
+                }
+            }
+
+            // Write payloads and descriptors together (posted stores).
+            std::vector<mem::CoherentSystem::Span> spans;
+            Addr last_line = ~Addr{0};
+            std::vector<std::pair<std::uint32_t, std::size_t>> placed;
+            std::uint32_t idx = queue.rxProd;
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (!out[i])
+                    continue;
+                spans.push_back({out[i]->addr, batch[i].len});
+                const Addr l = queue.rx.lineOf(idx);
+                if (l != last_line) {
+                    spans.push_back({l, mem::kLineBytes});
+                    last_line = l;
+                }
+                placed.emplace_back(idx, i);
+                idx++;
+            }
+            if (cfg_.layout == RingLayout::Grouped &&
+                cfg_.signal == SignalMode::Inline &&
+                (idx % per_line) != 0) {
+                idx = queue.rx.groupBase(idx) + per_line;
+            }
+
+            co_await sim_.delay(
+                cycles((costs.perPktTx + costs.perDesc) *
+                       static_cast<double>(placed.size())));
+            queue.rxProd = idx;
+            {
+                Queue *qp = &queue;
+                const bool reg = cfg_.signal == SignalMode::Register;
+                const std::uint64_t tail_val = queue.rxProd;
+                if (reg)
+                    spans.push_back({queue.rxTail.addr(), 8});
+                auto publish = [qp, reg, tail_val, placed, out,
+                                batch]() {
+                    for (const auto &[slot_idx, pkt_idx] : placed) {
+                        PacketBuf *b = out[pkt_idx];
+                        b->len = batch[pkt_idx].len;
+                        b->txTime = batch[pkt_idx].txTime;
+                        b->flowId = batch[pkt_idx].flowId;
+                        b->userData = batch[pkt_idx].userData;
+                        auto &slot = qp->rx.slot(slot_idx);
+                        slot.buf = b;
+                        slot.len = b->len;
+                        slot.ready = true;
+                    }
+                    if (reg)
+                        qp->rxTail.publish(tail_val);
+                };
+                co_await mem_.postMulti(queue.nicAgent, spans,
+                                        std::move(publish));
+            }
+            if (cfg_.signal == SignalMode::Inline) {
+                // Grant-ahead the next RX ring lines (§3.2).
+                const std::uint32_t nlines = std::max<std::uint32_t>(
+                    1, static_cast<std::uint32_t>(placed.size()) /
+                           per_line);
+                for (std::uint32_t k = 0; k < nlines; ++k) {
+                    mem_.touchLine(queue.nicAgent,
+                                   queue.rx.lineOf(queue.rxProd +
+                                                   k * per_line));
+                }
+            }
+        } else {
+            // Host-posted buffers (PCIe-style): wait for blanks, fill
+            // them, flip the descriptor to completed.
+            std::vector<mem::CoherentSystem::Span> spans;
+            Addr last_line = ~Addr{0};
+            std::vector<std::pair<std::uint32_t, std::size_t>> placed;
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                while (queue.rx.slot(queue.rxPostCons).meta !=
+                       kRxPosted) {
+                    const Addr line =
+                        queue.rx.lineOf(queue.rxPostCons);
+                    co_await mem_.load(queue.nicAgent, line,
+                                       mem::kLineBytes);
+                    if (queue.rx.slot(queue.rxPostCons).meta ==
+                        kRxPosted)
+                        break;
+                    co_await mem_.waitLineChange(
+                        line, mem_.lineVersion(line));
+                }
+                PacketBuf *b = queue.rx.slot(queue.rxPostCons).buf;
+                spans.push_back({b->addr, batch[i].len});
+                const Addr l = queue.rx.lineOf(queue.rxPostCons);
+                if (l != last_line) {
+                    spans.push_back({l, mem::kLineBytes});
+                    last_line = l;
+                }
+                placed.emplace_back(queue.rxPostCons, i);
+                queue.rxPostCons++;
+            }
+            co_await sim_.delay(
+                cycles((costs.perPktTx + costs.perDesc) *
+                       static_cast<double>(placed.size())));
+            {
+                Queue *qp = &queue;
+                const bool reg = cfg_.signal == SignalMode::Register;
+                const std::uint64_t tail_val = queue.rxPostCons;
+                if (reg)
+                    spans.push_back({queue.rxTail.addr(), 8});
+                auto publish = [qp, reg, tail_val, placed, batch]() {
+                    for (const auto &[slot_idx, pkt_idx] : placed) {
+                        auto &slot = qp->rx.slot(slot_idx);
+                        PacketBuf *b = slot.buf;
+                        b->len = batch[pkt_idx].len;
+                        b->txTime = batch[pkt_idx].txTime;
+                        b->flowId = batch[pkt_idx].flowId;
+                        b->userData = batch[pkt_idx].userData;
+                        slot.len = b->len;
+                        slot.meta = kRxCompleted;
+                        slot.ready = true;
+                    }
+                    if (reg)
+                        qp->rxTail.publish(tail_val);
+                };
+                co_await mem_.postMulti(queue.nicAgent, spans,
+                                        std::move(publish));
+            }
+        }
+
+        queue.coreLock.release();
+        if (queue.rxInput.size() <
+            static_cast<std::size_t>(cfg_.nicBatch) * 2) {
+            queue.wireDrained.notifyAll();
+        }
+    }
+}
+
+} // namespace ccn::ccnic

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * CC-NIC: the paper's cache-coherent host-NIC interface (§3), plus the
+ * "unoptimized UPI" baseline (§5.1) as a configuration of the same
+ * engine.
+ *
+ * The host side implements the DPDK-style burst API (Figure 5); the
+ * NIC side runs as software agents on the NIC socket, exactly like the
+ * paper's software-NIC methodology (§4). All host-NIC communication is
+ * ordinary coherent memory traffic through the CoherentSystem model.
+ *
+ * Design features (each independently toggleable for the Figure 14/15
+ * ablations):
+ *  - inline signals vs head/tail register lines (§3.2);
+ *  - grouped / packed / padded descriptor layouts (§3.2);
+ *  - writer-homed rings: TX host-homed, RX NIC-homed (§3.3);
+ *  - caching (write-back) stores for all data movement (§3.3);
+ *  - recycling buffer allocator and small-buffer subdivision (§3.3);
+ *  - shared buffer pool with NIC-side buffer management (§3.4).
+ */
+
+#ifndef CCN_CCNIC_CCNIC_HH
+#define CCN_CCNIC_CCNIC_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "driver/mempool.hh"
+#include "driver/nic_iface.hh"
+#include "driver/ring.hh"
+#include "mem/coherence.hh"
+#include "mem/platform.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/sync.hh"
+
+namespace ccn::ccnic {
+
+/** A packet on the (modeled) wire: logical contents only. */
+struct WirePacket
+{
+    std::uint32_t len = 0;
+    sim::Tick txTime = 0;
+    std::uint64_t flowId = 0;
+    std::uint64_t userData = 0;
+    std::uint8_t segments = 1; ///< Descriptor slots consumed (extbuf).
+};
+
+/** Full configuration of a CC-NIC instance. */
+struct CcNicConfig
+{
+    int numQueues = 1;
+    std::uint32_t ringEntries = 512;
+
+    driver::RingLayout layout = driver::RingLayout::Grouped;
+    driver::SignalMode signal = driver::SignalMode::Inline;
+
+    /// Home the RX ring on the NIC socket (writer-homed, §3.3); the
+    /// unoptimized baseline keeps all rings in host memory.
+    bool nicHomedRx = true;
+
+    /// NIC allocates RX buffers and frees TX buffers itself (§3.4);
+    /// when off, the host posts RX buffers and reaps TX completions,
+    /// PCIe-style.
+    bool nicBufferMgmt = true;
+
+    driver::MempoolConfig pool;
+    driver::CpuCosts hostCosts{};
+    driver::CpuCosts nicCosts{};
+
+    int nicBatch = 32;        ///< NIC-side processing burst.
+
+    /// NIC engine pipelines descriptor/payload fetches across the
+    /// whole batch (CC-NIC). The unoptimized baseline emulates the
+    /// E810's per-descriptor hardware handling, serializing each
+    /// packet's descriptor-then-payload chain.
+    bool nicPipelined = true;
+    sim::Tick wireLat = 0;    ///< Loopback wire latency.
+    bool loopback = true;     ///< TX loops back to the same queue's RX.
+};
+
+/** The paper's optimized CC-NIC configuration. */
+CcNicConfig optimizedConfig(int num_queues, int host_socket);
+
+/**
+ * Driver software costs calibrated per platform so that saturated
+ * per-core 64B packet rates land on the paper's §5.3 measurements
+ * (~21Mpps/core on ICX, ~28Mpps/core on SPR).
+ */
+driver::CpuCosts platformCosts(const mem::PlatformConfig &plat);
+
+/** optimizedConfig() with platform-calibrated software costs. */
+CcNicConfig optimizedConfig(int num_queues, int host_socket,
+                            const mem::PlatformConfig &plat);
+
+/** unoptimizedConfig() with platform-calibrated software costs. */
+CcNicConfig unoptimizedConfig(int num_queues, int host_socket,
+                              const mem::PlatformConfig &plat);
+
+/**
+ * The "unoptimized UPI" baseline (§5.1): the Intel E810 interface —
+ * packed 16B descriptors, head/tail register signaling, host-managed
+ * 2KB buffers — run over coherent memory.
+ */
+CcNicConfig unoptimizedConfig(int num_queues, int host_socket);
+
+/**
+ * A CC-NIC instance: host-side burst interface plus NIC-side agent
+ * processes.
+ */
+class CcNic : public driver::NicInterface
+{
+  public:
+    CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
+          const CcNicConfig &config, int host_socket, int nic_socket,
+          sim::Rng &rng);
+
+    /** Spawn the NIC-side processes. Call once before running. */
+    void start();
+
+    /// @name Wire attachment (external mode).
+    /// @{
+    /** Divert TX packets to an external sink instead of loopback. */
+    void
+    setTxSink(std::function<void(int, const WirePacket &)> sink)
+    {
+        txSink_ = std::move(sink);
+    }
+
+    /** Inject a packet for RX delivery on queue @p q. */
+    void injectRx(int q, const WirePacket &pkt);
+    /// @}
+
+    /// @name NicInterface implementation (host side).
+    /// @{
+    sim::Coro<int> txBurst(int q, driver::PacketBuf **bufs,
+                           int count) override;
+    sim::Coro<int> rxBurst(int q, driver::PacketBuf **bufs,
+                           int count) override;
+    sim::Coro<int> allocBufs(int q, std::uint32_t size,
+                             driver::PacketBuf **bufs,
+                             int count) override;
+    sim::Coro<void> freeBufs(int q, driver::PacketBuf **bufs,
+                             int count) override;
+    sim::Coro<void> idleWait(int q, sim::Tick deadline) override;
+    mem::AgentId hostAgent(int q) const override;
+    int numQueues() const override { return cfg_.numQueues; }
+    const driver::CpuCosts &cpuCosts() const override
+    {
+        return cfg_.hostCosts;
+    }
+    /// @}
+
+    mem::AgentId nicAgent(int q) const;
+    const CcNicConfig &config() const { return cfg_; }
+    driver::Mempool &pool() { return *pool_; }
+
+    /** Packets that have crossed TX processing (for reports). */
+    std::uint64_t txCount() const { return txCount_; }
+
+  private:
+    struct Queue
+    {
+        Queue(sim::Simulator &sim, mem::CoherentSystem &m,
+              const CcNicConfig &cfg, int host_socket, int nic_socket);
+
+
+        mem::AgentId hostAgent;
+        mem::AgentId nicAgent;
+
+        driver::DescRing tx;
+        driver::DescRing rx;
+        driver::RegisterLine txTail, txHead, rxTail, rxHead;
+
+        // Host producer/consumer positions.
+        std::uint32_t txProd = 0;
+        std::uint32_t rxCons = 0;
+        std::uint32_t rxClearScan = 0; ///< Clears lag consumption.
+        // Host-managed-mode bookkeeping.
+        std::uint32_t txFreeScan = 0;
+        std::uint32_t rxPostProd = 0;
+        std::vector<driver::PacketBuf *> txShadow;
+
+        // NIC positions.
+        std::uint32_t txCons = 0;
+        std::uint32_t txClearScan = 0;
+        std::uint32_t rxProd = 0;
+        std::uint32_t rxPostCons = 0;
+
+        // Register-signal caches.
+        std::uint64_t hostTxHeadCache = 0;
+        std::uint64_t nicTxTailCache = 0;
+        std::uint64_t hostRxTailCache = 0;
+        std::uint64_t nicRxHeadCache = 0;
+
+        sim::Mailbox<WirePacket> rxInput;
+        sim::Semaphore coreLock; ///< One NIC core serves both tasks.
+        sim::Gate wireDrained;   ///< RX engine drained below cap.
+    };
+
+    sim::Task nicTxTask(int q);
+    sim::Task nicRxTask(int q);
+
+    /** Deliver a TX packet to the wire. */
+    void deliverTx(int q, const WirePacket &pkt);
+
+    /** Cycles-to-ticks on the given side. */
+    sim::Tick
+    cycles(double n) const
+    {
+        return mem_.config().cycles(n);
+    }
+
+    sim::Simulator &sim_;
+    mem::CoherentSystem &mem_;
+    CcNicConfig cfg_;
+    int hostSocket_;
+    int nicSocket_;
+
+    std::unique_ptr<driver::Mempool> pool_;
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::function<void(int, const WirePacket &)> txSink_;
+    std::uint64_t txCount_ = 0;
+    bool started_ = false;
+};
+
+} // namespace ccn::ccnic
+
+#endif // CCN_CCNIC_CCNIC_HH

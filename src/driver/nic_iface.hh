@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Common host-side NIC data plane interface.
+ *
+ * All four evaluated interfaces (CC-NIC, unoptimized UPI, E810 PCIe,
+ * CX6 PCIe) implement this API, which mirrors the semantics of the
+ * DPDK mempool and ethdev burst calls (paper Figure 5). Workloads and
+ * applications are written once against it.
+ */
+
+#ifndef CCN_DRIVER_NIC_IFACE_HH
+#define CCN_DRIVER_NIC_IFACE_HH
+
+#include <cstdint>
+
+#include "driver/packet.hh"
+#include "mem/coherence.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace ccn::driver {
+
+/**
+ * Host CPU cost model for driver software (cycles). These represent
+ * the instruction-execution component of per-packet work; memory
+ * stalls are charged separately by the access-accurate memory model.
+ */
+struct CpuCosts
+{
+    double perLoop = 30;      ///< Poll-loop iteration overhead.
+    double perPktTx = 35;     ///< Per-packet TX software cost.
+    double perPktRx = 30;     ///< Per-packet RX software cost.
+    double perDesc = 10;      ///< Descriptor marshalling.
+    double perAllocFree = 10; ///< Buffer bookkeeping.
+};
+
+/**
+ * Host-side per-queue data plane interface (DPDK ethdev/mempool
+ * semantics).
+ */
+class NicInterface
+{
+  public:
+    virtual ~NicInterface() = default;
+
+    /**
+     * Submit up to @p count packets on queue @p q. Returns the number
+     * accepted (backpressure drops the rest, mirroring
+     * rte_eth_tx_burst).
+     */
+    virtual sim::Coro<int> txBurst(int q, PacketBuf **bufs,
+                                   int count) = 0;
+
+    /**
+     * Receive up to @p count packets from queue @p q. Returns the
+     * number received (possibly 0; non-blocking poll).
+     */
+    virtual sim::Coro<int> rxBurst(int q, PacketBuf **bufs,
+                                   int count) = 0;
+
+    /** Allocate packet buffers suited to @p size bytes. */
+    virtual sim::Coro<int> allocBufs(int q, std::uint32_t size,
+                                     PacketBuf **bufs, int count) = 0;
+
+    /** Release packet buffers. */
+    virtual sim::Coro<void> freeBufs(int q, PacketBuf **bufs,
+                                     int count) = 0;
+
+    /**
+     * Block until new RX work is likely (or @p deadline passes).
+     * Used by poll loops to sleep without missing either timed TX
+     * work or RX arrivals.
+     */
+    virtual sim::Coro<void> idleWait(int q, sim::Tick deadline) = 0;
+
+    /** Agent (core) bound to queue @p q's host thread. */
+    virtual mem::AgentId hostAgent(int q) const = 0;
+
+    /** Number of configured queue pairs. */
+    virtual int numQueues() const = 0;
+
+    /** Host CPU cost model for this driver. */
+    virtual const CpuCosts &cpuCosts() const = 0;
+};
+
+} // namespace ccn::driver
+
+#endif // CCN_DRIVER_NIC_IFACE_HH

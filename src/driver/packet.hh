@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Packet buffer representation.
+ *
+ * A PacketBuf is the logical view of a pre-allocated packet buffer in
+ * simulated memory (the mbuf analogue of the paper's DPDK-style data
+ * plane). The simulator is access-accurate rather than byte-accurate:
+ * payload contents are represented by the metadata a workload needs
+ * (length, timestamp, flow/user tags) while every byte of the payload
+ * is still charged through the memory system when written or read.
+ */
+
+#ifndef CCN_DRIVER_PACKET_HH
+#define CCN_DRIVER_PACKET_HH
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+#include "sim/time.hh"
+
+namespace ccn::driver {
+
+/** Buffer size class within a pool. */
+enum class BufClass : std::uint8_t
+{
+    Small, ///< Subdivided small buffer (128B; §3.3).
+    Large, ///< MTU-sized buffer (4KB).
+};
+
+/** One packet buffer: simulated placement plus logical payload. */
+struct PacketBuf
+{
+    mem::Addr addr = 0;          ///< Payload start address.
+    std::uint32_t capacity = 0;  ///< Buffer size in bytes.
+    std::uint32_t len = 0;       ///< Current payload length.
+    BufClass cls = BufClass::Large;
+    std::uint32_t poolIndex = 0; ///< Pool bookkeeping handle.
+
+    /// @name Logical payload (what the benchmarks exchange).
+    /// @{
+    sim::Tick txTime = 0;    ///< Timestamp written by the generator.
+    std::uint64_t flowId = 0;
+    std::uint64_t userData = 0;
+    /// @}
+
+    /// Second payload segment for zero-copy multi-segment TX (the
+    /// DPDK extbuf pattern used by the key-value store's GET path).
+    PacketBuf *nextSeg = nullptr;
+    /// Length contributed by the external segment.
+    std::uint32_t segLen = 0;
+
+    /** Total wire length including chained segments. */
+    std::uint32_t
+    wireLen() const
+    {
+        return len + (nextSeg ? segLen : 0);
+    }
+};
+
+} // namespace ccn::driver
+
+#endif // CCN_DRIVER_PACKET_HH

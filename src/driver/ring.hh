@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Descriptor ring layouts and register lines.
+ *
+ * The three layouts studied in §3.2 / Figure 14b:
+ *  - Padded: one 16B descriptor per 64B cache line (no thrashing, 75%
+ *    space wasted).
+ *  - Packed: four 16B descriptors per line, each independently
+ *    signaled (E810-equivalent layout; thrashes when producer and
+ *    consumer touch the same line concurrently).
+ *  - Grouped: CC-NIC's optimized layout — four descriptors plus one
+ *    signal per line, written as a unit; a consumer that finds a blank
+ *    descriptor mid-group skips to the next line.
+ *
+ * The ring stores logical slot contents in C++; the simulated lines
+ * carry the coherence traffic.
+ */
+
+#ifndef CCN_DRIVER_RING_HH
+#define CCN_DRIVER_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/packet.hh"
+#include "mem/coherence.hh"
+
+namespace ccn::driver {
+
+/** Descriptor ring memory layout (§3.2). */
+enum class RingLayout
+{
+    Padded,  ///< One descriptor per cache line.
+    Packed,  ///< Four per line, per-descriptor signals.
+    Grouped, ///< Four per line, one signal per line (CC-NIC).
+};
+
+/** Signaling mechanism (§3.2 / Figure 14a). */
+enum class SignalMode
+{
+    Inline,   ///< Ready flag inlined in the descriptor line.
+    Register, ///< Separate head/tail register lines (PCIe-style).
+};
+
+/**
+ * A descriptor ring in simulated memory.
+ */
+class DescRing
+{
+  public:
+    /** One logical descriptor slot. */
+    struct Slot
+    {
+        PacketBuf *buf = nullptr;
+        std::uint32_t len = 0;
+        std::uint64_t meta = 0;
+        bool ready = false; ///< Inline signal state.
+    };
+
+    /**
+     * @param mem_system  Memory system for ring storage.
+     * @param home_socket Homing (§3.3: writer-homed is optimal).
+     * @param entries     Ring size (power of two).
+     * @param layout      Cache-line layout.
+     */
+    DescRing(mem::CoherentSystem &mem_system, int home_socket,
+             std::uint32_t entries, RingLayout layout)
+        : layout_(layout), entries_(entries), mask_(entries - 1),
+          slots_(entries)
+    {
+        const std::uint32_t bytes_per_entry =
+            layout == RingLayout::Padded ? mem::kLineBytes : 16;
+        base_ = mem_system.alloc(
+            home_socket,
+            static_cast<std::uint64_t>(entries) * bytes_per_entry,
+            mem::kLineBytes);
+    }
+
+    /** Descriptors per cache line under this layout. */
+    std::uint32_t
+    perLine() const
+    {
+        return layout_ == RingLayout::Padded ? 1 : 4;
+    }
+
+    /** Line address holding descriptor @p idx. */
+    mem::Addr
+    lineOf(std::uint32_t idx) const
+    {
+        const std::uint32_t i = idx & mask_;
+        return layout_ == RingLayout::Padded
+                   ? base_ + static_cast<std::uint64_t>(i) *
+                                 mem::kLineBytes
+                   : base_ + static_cast<std::uint64_t>(i / 4) *
+                                 mem::kLineBytes;
+    }
+
+    /** Byte address of descriptor @p idx. */
+    mem::Addr
+    addrOf(std::uint32_t idx) const
+    {
+        const std::uint32_t i = idx & mask_;
+        return layout_ == RingLayout::Padded
+                   ? base_ + static_cast<std::uint64_t>(i) *
+                                 mem::kLineBytes
+                   : base_ + static_cast<std::uint64_t>(i) * 16;
+    }
+
+    Slot &slot(std::uint32_t idx) { return slots_[idx & mask_]; }
+    const Slot &slot(std::uint32_t idx) const
+    {
+        return slots_[idx & mask_];
+    }
+
+    std::uint32_t entries() const { return entries_; }
+    std::uint32_t mask() const { return mask_; }
+    RingLayout layout() const { return layout_; }
+
+    /** First index of the descriptor group containing @p idx. */
+    std::uint32_t
+    groupBase(std::uint32_t idx) const
+    {
+        return idx & ~(perLine() - 1);
+    }
+
+  private:
+    RingLayout layout_;
+    std::uint32_t entries_;
+    std::uint32_t mask_;
+    mem::Addr base_ = 0;
+    std::vector<Slot> slots_;
+};
+
+/**
+ * A 64-bit register on its own cache line (PCIe-style head/tail
+ * signaling over coherent memory, the paper's "unoptimized" baseline).
+ */
+class RegisterLine
+{
+  public:
+    RegisterLine(mem::CoherentSystem &mem_system, int home_socket)
+        : addr_(mem_system.alloc(home_socket, mem::kLineBytes,
+                                 mem::kLineBytes))
+    {}
+
+    mem::Addr addr() const { return addr_; }
+
+    std::uint64_t value() const { return value_; }
+
+    /** Publish a new value (call after the store completes). */
+    void publish(std::uint64_t v) { value_ = v; }
+
+  private:
+    mem::Addr addr_;
+    std::uint64_t value_ = 0;
+};
+
+} // namespace ccn::driver
+
+#endif // CCN_DRIVER_RING_HH

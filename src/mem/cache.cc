@@ -1,0 +1,131 @@
+#include "mem/cache.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace ccn::mem {
+
+namespace {
+
+/** Largest power of two not exceeding @p v (v >= 1). */
+std::uint32_t
+floorPow2(std::uint32_t v)
+{
+    return std::uint32_t{1} << (31 - std::countl_zero(v));
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::uint32_t total_lines, std::uint32_t ways)
+    : numSets_(floorPow2(std::max<std::uint32_t>(1, total_lines / ways))),
+      ways_(ways)
+{
+    entries_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+std::uint32_t
+SetAssocCache::setIndex(Addr line) const
+{
+    // Hash the line number over the sets. Using the raw line index
+    // modulo sets preserves the real stride-conflict behaviour that the
+    // paper's small-buffer optimization depends on (4KB-strided buffers
+    // landing in a fraction of the sets).
+    return static_cast<std::uint32_t>((line / kLineBytes) &
+                                      (numSets_ - 1));
+}
+
+CacheEntry *
+SetAssocCache::find(Addr line)
+{
+    CacheEntry *set = &entries_[static_cast<std::size_t>(setIndex(line)) *
+                                ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid() && set[w].line == line)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheEntry *
+SetAssocCache::find(Addr line) const
+{
+    return const_cast<SetAssocCache *>(this)->find(line);
+}
+
+CacheEntry *
+SetAssocCache::touch(Addr line)
+{
+    CacheEntry *e = find(line);
+    if (e)
+        e->lruStamp = ++stamp_;
+    return e;
+}
+
+CacheEntry *
+SetAssocCache::insert(Addr line, LineState state, bool dirty,
+                      Eviction *evicted)
+{
+    assert(find(line) == nullptr && "line already present");
+    if (evicted)
+        evicted->valid = false;
+
+    CacheEntry *set = &entries_[static_cast<std::size_t>(setIndex(line)) *
+                                ways_];
+    CacheEntry *victim = &set[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!set[w].valid()) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lruStamp < victim->lruStamp)
+            victim = &set[w];
+    }
+
+    if (victim->valid() && evicted) {
+        evicted->valid = true;
+        evicted->line = victim->line;
+        evicted->state = victim->state;
+        evicted->dirty = victim->dirty;
+    }
+
+    victim->line = line;
+    victim->state = state;
+    victim->dirty = dirty;
+    victim->readyAt = 0;
+    victim->wasPrefetch = false;
+    victim->lruStamp = ++stamp_;
+    return victim;
+}
+
+bool
+SetAssocCache::erase(Addr line)
+{
+    CacheEntry *e = find(line);
+    if (!e)
+        return false;
+    e->state = LineState::Invalid;
+    e->dirty = false;
+    return true;
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto &e : entries_) {
+        e.state = LineState::Invalid;
+        e.dirty = false;
+    }
+}
+
+std::uint64_t
+SetAssocCache::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_) {
+        if (e.valid())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace ccn::mem

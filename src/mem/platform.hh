@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Server platform parameter sets.
+ *
+ * Two presets model the paper's testbeds (§5.1):
+ *  - ICX: dual Ice Lake Xeon Gold 6346, 16 cores @3.1GHz per socket,
+ *    1.25MB L2, 36MB LLC, 3×11.2GT/s UPI.
+ *  - SPR: dual Sapphire Rapids, 56 cores @2.0GHz per socket, 2MB L2,
+ *    105MB LLC, 4×16GT/s UPI.
+ *
+ * Latency components are calibrated so that the composite paths land on
+ * the paper's Figure 7 measurements (asserted in tests/mem):
+ *
+ *   target (ns)        SPR   ICX   composition
+ *   local DRAM         108    72   chaLookup + dramLat
+ *   remote DRAM        191   144   chaLookup + 2*upiHop + remoteChaLat
+ *                                  + dramLat
+ *   local L2 (other)    82    48   chaLookup + snoopFwdLocal
+ *   remote L2 (rh)     171   114   chaLookup + 2*upiHop + remoteChaLat
+ *                                  + snoopFwdRemote
+ *   remote L2 (lh)     174   119   rh case + specReadPenalty
+ *
+ * Bandwidths are calibrated to the paper's measured interconnect data
+ * ceilings (§3.3): 443Gbps (ICX) and 1020Gbps (SPR) for cached reads,
+ * with per-line protocol overhead bytes chosen so nontemporal streaming
+ * lands at the observed 1.8x (ICX) / 1.6x (SPR) deficit (Figure 9).
+ */
+
+#ifndef CCN_MEM_PLATFORM_HH
+#define CCN_MEM_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace ccn::mem {
+
+/** All tunable hardware parameters for one dual-socket platform. */
+struct PlatformConfig
+{
+    std::string name;
+
+    int sockets = 2;
+    int coresPerSocket = 0;
+    double coreGhz = 0.0;
+
+    // Cache geometry (lines are 64B).
+    std::uint32_t l2Lines = 0;
+    std::uint32_t l2Ways = 0;
+    std::uint32_t llcLines = 0;
+    std::uint32_t llcWays = 0;
+
+    // Latency components (ticks).
+    sim::Tick l2HitLat = 0;        ///< Hit in the requester's own L2.
+    sim::Tick chaLookupLat = 0;    ///< Core to local CHA/LLC lookup.
+    sim::Tick llcDataLat = 0;      ///< Extra for LLC data return.
+    sim::Tick snoopFwdLocal = 0;   ///< Same-socket L2-to-L2 forward.
+    sim::Tick snoopFwdRemote = 0;  ///< Remote-socket L2 forward leg.
+    sim::Tick remoteChaLat = 0;    ///< Remote CHA processing.
+    sim::Tick upiHop = 0;          ///< One-way UPI traversal.
+    sim::Tick dramLat = 0;         ///< CHA to DRAM access.
+    sim::Tick specReadPenalty = 0; ///< Reader-homed speculative read cost.
+    sim::Tick invalidateLat = 0;   ///< Snoop-invalidate leg for RFOs.
+    sim::Tick atomicExtraLat = 0;  ///< Extra cost of a locked RMW.
+    sim::Tick flushLat = 0;        ///< CLFLUSHOPT issue cost.
+
+    // Bandwidths (bytes per second).
+    double upiRawBw = 0.0;   ///< Per direction, aggregated over links.
+    double dramBw = 0.0;     ///< Per socket.
+
+    // Per-message occupancy on the interconnect (bytes).
+    std::uint32_t ctrlMsgBytes = 16;  ///< Requests, invalidations, acks.
+    std::uint32_t dataMsgBytes = 80;  ///< 64B line + protocol framing.
+    std::uint32_t ntMsgBytes = 0;     ///< Nontemporal full-line write.
+
+    // Concurrency limits.
+    int mshrsPerCore = 0;      ///< Outstanding demand misses per core.
+    int storeBufDepth = 56;    ///< Outstanding (posted) stores per core.
+    int wcBuffers = 24;        ///< Write-combining buffers per core
+                               ///< (Figure 3 knee at N=24).
+
+    // Hardware prefetcher (DCU-IP-style streaming).
+    int prefetchDepth = 2;     ///< Lines fetched ahead on a stream.
+    int prefetchTrigger = 2;   ///< Consecutive +1-line misses to arm.
+
+    /** Convert a core-cycle count to ticks on this platform. */
+    sim::Tick
+    cycles(double n) const
+    {
+        return sim::fromNs(n / coreGhz);
+    }
+};
+
+/** Ice Lake Xeon Gold 6346 dual-socket preset. */
+PlatformConfig icxConfig();
+
+/** Sapphire Rapids dual-socket preset. */
+PlatformConfig sprConfig();
+
+} // namespace ccn::mem
+
+#endif // CCN_MEM_PLATFORM_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator operates on a 64-bit picosecond timeline. Sub-nanosecond
+ * resolution is required because interconnect serialization delays of a
+ * single 64B cache line are on the order of a nanosecond (64B across an
+ * effective 55GB/s UPI path is ~1.16ns).
+ */
+
+#ifndef CCN_SIM_TIME_HH
+#define CCN_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace ccn::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** One picosecond. */
+inline constexpr Tick kPicosecond = 1;
+/** One nanosecond in ticks. */
+inline constexpr Tick kNanosecond = 1000;
+/** One microsecond in ticks. */
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+/** One millisecond in ticks. */
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+/** One second in ticks. */
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Sentinel meaning "never" / unbounded. */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** Convert a floating-point nanosecond value to ticks (rounded). */
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kNanosecond) + 0.5);
+}
+
+/** Convert a floating-point microsecond value to ticks (rounded). */
+constexpr Tick
+fromUs(double us)
+{
+    return fromNs(us * 1000.0);
+}
+
+/** Convert ticks to floating-point nanoseconds. */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+
+/** Convert ticks to floating-point microseconds. */
+constexpr double
+toUs(Tick t)
+{
+    return toNs(t) / 1000.0;
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/**
+ * Serialization time of @p bytes at @p bytes_per_second, in ticks.
+ *
+ * @param bytes            Transfer size in bytes.
+ * @param bytes_per_second Link or channel rate.
+ */
+constexpr Tick
+serializationTime(std::uint64_t bytes, double bytes_per_second)
+{
+    return static_cast<Tick>(static_cast<double>(bytes) /
+                             bytes_per_second *
+                             static_cast<double>(kSecond) + 0.5);
+}
+
+/** Convert a gigabit-per-second rate to bytes per second. */
+constexpr double
+gbpsToBytesPerSec(double gbps)
+{
+    return gbps * 1e9 / 8.0;
+}
+
+/** Convert a bytes-per-tick-window throughput to Gbps. */
+constexpr double
+bytesOverTicksToGbps(double bytes, Tick window)
+{
+    return bytes * 8.0 / (toSeconds(window) * 1e9);
+}
+
+} // namespace ccn::sim
+
+#endif // CCN_SIM_TIME_HH

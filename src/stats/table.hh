@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal fixed-width table formatter for benchmark output.
+ *
+ * Every bench binary prints its figure/table as rows of "series,
+ * x-value, measured, paper-reported" so EXPERIMENTS.md can be assembled
+ * directly from bench output.
+ */
+
+#ifndef CCN_STATS_TABLE_HH
+#define CCN_STATS_TABLE_HH
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ccn::stats {
+
+/** Column-aligned text table streamed to stdout. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Begin a new row. */
+    Table &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    /** Append a string cell to the current row. */
+    Table &
+    cell(const std::string &value)
+    {
+        rows_.back().push_back(value);
+        return *this;
+    }
+
+    /** Append a formatted floating-point cell. */
+    Table &
+    cell(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        rows_.back().push_back(os.str());
+        return *this;
+    }
+
+    /** Append an integer cell. */
+    Table &
+    cell(std::uint64_t value)
+    {
+        rows_.back().push_back(std::to_string(value));
+        return *this;
+    }
+
+    Table &
+    cell(int value)
+    {
+        rows_.back().push_back(std::to_string(value));
+        return *this;
+    }
+
+    /** Print the table with aligned columns. */
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<std::size_t> widths(headers_.size(), 0);
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for (const auto &row : rows_) {
+            for (std::size_t c = 0; c < row.size() && c < widths.size();
+                 ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        printRow(os, headers_, widths);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+        for (const auto &row : rows_)
+            printRow(os, row, widths);
+        os.flush();
+    }
+
+  private:
+    static void
+    printRow(std::ostream &os, const std::vector<std::string> &row,
+             const std::vector<std::size_t> &widths)
+    {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        os << "\n";
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for a figure/table reproduction. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n==== " << title << " ====\n";
+}
+
+} // namespace ccn::stats
+
+#endif // CCN_STATS_TABLE_HH

@@ -1,0 +1,182 @@
+#include "workload/loopback.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "driver/packet.hh"
+
+namespace ccn::workload {
+
+using driver::PacketBuf;
+using sim::Tick;
+
+namespace {
+
+/** Shared measurement state across generator threads. */
+struct Shared
+{
+    Tick measureStart = 0;
+    Tick measureEnd = 0;
+    stats::Histogram latency;
+    std::uint64_t rxInWindow = 0;
+    std::uint64_t rxBytesInWindow = 0;
+    std::uint64_t txDrops = 0;
+    std::uint64_t minLatency = ~std::uint64_t{0};
+};
+
+constexpr int kMaxBurst = 64;
+
+/** One application thread: paced TX, polled RX, full payload access. */
+sim::Task
+hostThread(sim::Simulator &sim, mem::CoherentSystem &mem,
+           driver::NicInterface &nic, const LoopbackConfig cfg, int q,
+           Shared *sh, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    const mem::AgentId agent = nic.hostAgent(q);
+    const double per_thread_rate =
+        cfg.offeredPps / std::max(1, cfg.threads);
+    const bool closed = cfg.closedWindow > 0;
+    const Tick start = sim.now();
+
+    PacketBuf *rx_bufs[kMaxBurst];
+    PacketBuf *tx_bufs[kMaxBurst];
+    // Packets written but not yet accepted by the NIC (backpressure):
+    // retried on the next loop without re-writing payloads.
+    std::vector<PacketBuf *> backlog;
+    std::uint64_t sent = 0;
+    std::uint64_t inflight = 0;
+    // Next open-loop arrival (exponential inter-arrival times).
+    Tick next_due =
+        start + static_cast<Tick>(rng.exponential(
+                    static_cast<double>(sim::kSecond) / per_thread_rate));
+
+    while (sim.now() < sh->measureEnd) {
+        bool did_work = false;
+
+        // ---- RX ----
+        const int rx_want = std::min(cfg.rxBatch, kMaxBurst);
+        int nr = co_await nic.rxBurst(q, rx_bufs, rx_want);
+        if (nr > 0) {
+            did_work = true;
+            // The application accesses every RX payload (§5.1).
+            std::vector<mem::CoherentSystem::Span> spans;
+            spans.reserve(nr);
+            for (int i = 0; i < nr; ++i)
+                spans.push_back({rx_bufs[i]->addr, rx_bufs[i]->len});
+            co_await mem.accessMulti(agent, spans, false);
+            const Tick now = sim.now();
+            for (int i = 0; i < nr; ++i) {
+                const Tick lat = now - rx_bufs[i]->txTime;
+                if (now >= sh->measureStart && now < sh->measureEnd &&
+                    rx_bufs[i]->txTime >= sh->measureStart) {
+                    sh->latency.record(lat);
+                    sh->rxInWindow++;
+                    sh->rxBytesInWindow += rx_bufs[i]->len;
+                }
+                sh->minLatency = std::min(sh->minLatency,
+                                          static_cast<std::uint64_t>(lat));
+            }
+            co_await nic.freeBufs(q, rx_bufs, nr);
+            inflight -= static_cast<std::uint64_t>(
+                std::min<std::uint64_t>(inflight, nr));
+        }
+
+        // ---- TX ----
+        int due = 0;
+        if (closed) {
+            due = static_cast<int>(
+                std::min<std::uint64_t>(cfg.closedWindow - inflight,
+                                        static_cast<std::uint64_t>(
+                                            cfg.txBatch)));
+        } else {
+            while (next_due <= sim.now() && due < cfg.txBatch) {
+                due++;
+                next_due += static_cast<Tick>(
+                    rng.exponential(static_cast<double>(sim::kSecond) /
+                                    per_thread_rate));
+            }
+        }
+        due = std::min({due, kMaxBurst,
+                        static_cast<int>(kMaxBurst - backlog.size())});
+        if (due > 0) {
+            int got = co_await nic.allocBufs(q, cfg.pktSize, tx_bufs,
+                                             due);
+            if (got > 0) {
+                did_work = true;
+                // Write the full payload, then stamp and queue.
+                std::vector<mem::CoherentSystem::Span> spans;
+                spans.reserve(got);
+                for (int i = 0; i < got; ++i)
+                    spans.push_back({tx_bufs[i]->addr, cfg.pktSize});
+                // Payload stores retire into the store buffer; the
+                // descriptor publish (txBurst) orders behind them.
+                co_await mem.postMulti(agent, spans, nullptr);
+                const Tick now = sim.now();
+                for (int i = 0; i < got; ++i) {
+                    tx_bufs[i]->len = cfg.pktSize;
+                    tx_bufs[i]->txTime = now;
+                    tx_bufs[i]->flowId = static_cast<std::uint64_t>(q);
+                    tx_bufs[i]->userData = sent + i;
+                    backlog.push_back(tx_bufs[i]);
+                }
+            }
+        }
+        if (!backlog.empty()) {
+            int tx = co_await nic.txBurst(
+                q, backlog.data(),
+                std::min<int>(static_cast<int>(backlog.size()),
+                              cfg.txBatch));
+            if (tx > 0) {
+                did_work = true;
+                sent += static_cast<std::uint64_t>(tx);
+                inflight += static_cast<std::uint64_t>(tx);
+                backlog.erase(backlog.begin(), backlog.begin() + tx);
+            }
+        }
+
+        if (!did_work) {
+            const Tick deadline =
+                closed ? sh->measureEnd
+                       : std::min(next_due, sh->measureEnd);
+            co_await nic.idleWait(q, deadline);
+        }
+    }
+    co_return;
+}
+
+} // namespace
+
+LoopbackResult
+runLoopback(sim::Simulator &sim, mem::CoherentSystem &mem_system,
+            driver::NicInterface &nic, const LoopbackConfig &cfg)
+{
+    auto sh = std::make_unique<Shared>();
+    sh->measureStart = sim.now() + cfg.warmup;
+    sh->measureEnd = sh->measureStart + cfg.window;
+
+    for (int q = 0; q < cfg.threads; ++q) {
+        sim.spawn(hostThread(sim, mem_system, nic, cfg, q, sh.get(),
+                             cfg.seed * 7919 + q));
+    }
+    // Run to the end of the window plus drain margin for packets still
+    // in flight.
+    sim.run(sh->measureEnd + sim::fromUs(30.0));
+
+    LoopbackResult r;
+    r.offeredMpps = cfg.offeredPps / 1e6;
+    const double window_s = sim::toSeconds(cfg.window);
+    r.rxPackets = sh->rxInWindow;
+    r.achievedMpps = static_cast<double>(sh->rxInWindow) / window_s / 1e6;
+    r.gbps = static_cast<double>(sh->rxBytesInWindow) * 8.0 / window_s /
+             1e9;
+    r.minNs = sh->minLatency == ~std::uint64_t{0}
+                  ? 0.0
+                  : sim::toNs(sh->minLatency);
+    r.medianNs = sim::toNs(sh->latency.median());
+    r.p99Ns = sim::toNs(sh->latency.percentile(99.0));
+    r.txDrops = sh->txDrops;
+    return r;
+}
+
+} // namespace ccn::workload

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Integration tests for the CC-NIC interface: loopback correctness,
+ * latency/throughput sanity on both platform models, the unoptimized
+ * baseline's relative behaviour, and the design-feature toggles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ccnic/ccnic.hh"
+#include "mem/platform.hh"
+#include "workload/loopback.hh"
+
+namespace {
+
+using namespace ccn;
+
+struct World
+{
+    explicit World(const mem::PlatformConfig &plat,
+                   const ccnic::CcNicConfig &cfg)
+        : system(simv, plat), rng(7),
+          nic(simv, system, cfg, /*host=*/0, /*nic=*/1, rng)
+    {
+        nic.start();
+    }
+
+    sim::Simulator simv;
+    mem::CoherentSystem system;
+    sim::Rng rng;
+    ccnic::CcNic nic;
+};
+
+TEST(CcNicLoopback, ClosedLoopDeliversEveryPacket)
+{
+    World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+    workload::LoopbackConfig cfg;
+    cfg.threads = 1;
+    cfg.closedWindow = 1;
+    cfg.window = sim::fromUs(300.0);
+    auto r = workload::runLoopback(w.simv, w.system, w.nic, cfg);
+    EXPECT_GT(r.rxPackets, 100u);
+    EXPECT_EQ(r.txDrops, 0u);
+    // Singleton loopback latency: sub-microsecond on ICX (paper: 490ns
+    // minimum; our model is within ~40%).
+    EXPECT_LT(r.minNs, 900.0);
+    EXPECT_GT(r.minNs, 300.0);
+}
+
+TEST(CcNicLoopback, OpenLoopThroughputScalesWithLoad)
+{
+    double low, high;
+    {
+        World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+        workload::LoopbackConfig cfg;
+        cfg.offeredPps = 1e6;
+        auto r = workload::runLoopback(w.simv, w.system, w.nic, cfg);
+        low = r.achievedMpps;
+        EXPECT_NEAR(r.achievedMpps, 1.0, 0.25);
+    }
+    {
+        World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+        workload::LoopbackConfig cfg;
+        cfg.offeredPps = 8e6;
+        auto r = workload::runLoopback(w.simv, w.system, w.nic, cfg);
+        high = r.achievedMpps;
+        EXPECT_NEAR(r.achievedMpps, 8.0, 2.0);
+    }
+    EXPECT_GT(high, low * 4);
+}
+
+TEST(CcNicLoopback, SingleCorePeakRateIsTensOfMpps)
+{
+    // Paper §5.3: ~20-30Mpps per core at 64B on ICX (330Mpps / 14-16
+    // cores).
+    World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+    workload::LoopbackConfig cfg;
+    cfg.offeredPps = 100e6; // Far beyond one core.
+    auto r = workload::runLoopback(w.simv, w.system, w.nic, cfg);
+    EXPECT_GT(r.achievedMpps, 10.0);
+    EXPECT_LT(r.achievedMpps, 45.0);
+}
+
+TEST(CcNicLoopback, UnoptimizedBaselineIsSlowerAndHigherLatency)
+{
+    workload::LoopbackConfig probe;
+    probe.closedWindow = 1;
+    probe.window = sim::fromUs(300.0);
+
+    double opt_min, unopt_min;
+    {
+        World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+        opt_min =
+            workload::runLoopback(w.simv, w.system, w.nic, probe).minNs;
+    }
+    {
+        World w(mem::icxConfig(), ccnic::unoptimizedConfig(1, 0));
+        unopt_min =
+            workload::runLoopback(w.simv, w.system, w.nic, probe).minNs;
+    }
+    // Paper §5.2: unopt has 2.1x higher minimum latency than CC-NIC.
+    EXPECT_GT(unopt_min, opt_min * 1.5);
+    EXPECT_LT(unopt_min, opt_min * 3.5);
+
+    // Throughput: unopt shows 79% lower throughput (§5.2); require at
+    // least a 2x gap per core.
+    double opt_pps, unopt_pps;
+    workload::LoopbackConfig load;
+    load.offeredPps = 100e6;
+    {
+        World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+        opt_pps =
+            workload::runLoopback(w.simv, w.system, w.nic, load)
+                .achievedMpps;
+    }
+    {
+        World w(mem::icxConfig(), ccnic::unoptimizedConfig(1, 0));
+        unopt_pps =
+            workload::runLoopback(w.simv, w.system, w.nic, load)
+                .achievedMpps;
+    }
+    EXPECT_GT(opt_pps, unopt_pps * 2.0);
+}
+
+TEST(CcNicLoopback, LargePacketsMoveRealBandwidth)
+{
+    World w(mem::sprConfig(), ccnic::optimizedConfig(1, 0));
+    workload::LoopbackConfig cfg;
+    cfg.pktSize = 1500;
+    cfg.offeredPps = 4e6;
+    auto r = workload::runLoopback(w.simv, w.system, w.nic, cfg);
+    EXPECT_GT(r.gbps, 20.0);
+}
+
+TEST(CcNicFeatures, RegisterSignalingRaisesMinLatency)
+{
+    workload::LoopbackConfig probe;
+    probe.closedWindow = 1;
+    probe.window = sim::fromUs(300.0);
+    double inline_min, reg_min;
+    {
+        World w(mem::sprConfig(), ccnic::optimizedConfig(1, 0));
+        inline_min =
+            workload::runLoopback(w.simv, w.system, w.nic, probe).minNs;
+    }
+    {
+        auto cfg = ccnic::optimizedConfig(1, 0);
+        cfg.signal = driver::SignalMode::Register;
+        World w(mem::sprConfig(), cfg);
+        reg_min =
+            workload::runLoopback(w.simv, w.system, w.nic, probe).minNs;
+    }
+    // Figure 14a: inline signaling cuts minimum latency by ~37%.
+    EXPECT_GT(reg_min, inline_min * 1.2);
+}
+
+TEST(CcNicFeatures, SharedPoolBeatsHostManagedBuffers)
+{
+    workload::LoopbackConfig load;
+    load.offeredPps = 100e6;
+    double shared_pps, hostmgd_pps;
+    {
+        World w(mem::sprConfig(), ccnic::optimizedConfig(1, 0));
+        shared_pps =
+            workload::runLoopback(w.simv, w.system, w.nic, load)
+                .achievedMpps;
+    }
+    {
+        auto cfg = ccnic::optimizedConfig(1, 0);
+        cfg.nicBufferMgmt = false;
+        cfg.pool.sharedAccess = false;
+        World w(mem::sprConfig(), cfg);
+        hostmgd_pps =
+            workload::runLoopback(w.simv, w.system, w.nic, load)
+                .achievedMpps;
+    }
+    // Figure 15: removing NIC buffer management costs throughput.
+    EXPECT_GT(shared_pps, hostmgd_pps * 1.1);
+}
+
+TEST(CcNicLoopback, MultiQueueScalesThroughput)
+{
+    double one, four;
+    workload::LoopbackConfig load;
+    load.offeredPps = 200e6;
+    {
+        World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+        load.threads = 1;
+        one = workload::runLoopback(w.simv, w.system, w.nic, load)
+                  .achievedMpps;
+    }
+    {
+        World w(mem::icxConfig(), ccnic::optimizedConfig(4, 0));
+        load.threads = 4;
+        four = workload::runLoopback(w.simv, w.system, w.nic, load)
+                   .achievedMpps;
+    }
+    EXPECT_GT(four, one * 2.5);
+}
+
+} // namespace

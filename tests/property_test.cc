@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Property-based tests swept over the configuration space with
+ * parameterized gtest:
+ *
+ *  - Packet conservation: every transmitted packet is received exactly
+ *    once, in order, for every combination of descriptor layout,
+ *    signaling mode, buffer-management mode, and platform.
+ *  - Mempool invariants: no double allocation, full conservation of
+ *    buffers across random alloc/free sequences, for every pool
+ *    configuration.
+ *  - Coherence determinism and version monotonicity under random
+ *    multi-agent access sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "ccnic/ccnic.hh"
+#include "driver/mempool.hh"
+#include "mem/platform.hh"
+
+namespace {
+
+using namespace ccn;
+using driver::PacketBuf;
+
+sim::Task
+runBody(std::function<sim::Coro<void>()> body, bool &done)
+{
+    co_await body();
+    done = true;
+}
+
+// ---------------------------------------------------------------------
+// Packet conservation across the CC-NIC configuration space.
+// ---------------------------------------------------------------------
+
+using CcNicParam =
+    std::tuple<driver::RingLayout, driver::SignalMode, bool /*nicMgmt*/,
+               const char * /*platform*/>;
+
+class CcNicConservation
+    : public ::testing::TestWithParam<CcNicParam>
+{};
+
+TEST_P(CcNicConservation, EveryPacketDeliveredExactlyOnceInOrder)
+{
+    const auto [layout, signal, nic_mgmt, plat_name] = GetParam();
+    const mem::PlatformConfig plat = std::string(plat_name) == "ICX"
+                                         ? mem::icxConfig()
+                                         : mem::sprConfig();
+
+    sim::Simulator simv;
+    mem::CoherentSystem system(simv, plat);
+    sim::Rng rng(41);
+    auto cfg = ccnic::optimizedConfig(1, 0, plat);
+    cfg.layout = layout;
+    cfg.signal = signal;
+    cfg.nicBufferMgmt = nic_mgmt;
+    if (!nic_mgmt)
+        cfg.pool.sharedAccess = false;
+    ccnic::CcNic nic(simv, system, cfg, 0, 1, rng);
+    nic.start();
+
+    constexpr int kPackets = 200;
+    std::vector<std::uint64_t> received;
+    bool done = false;
+
+    auto body = [&]() -> sim::Coro<void> {
+        const mem::AgentId agent = nic.hostAgent(0);
+        std::uint64_t next_send = 0;
+        PacketBuf *tx[8];
+        PacketBuf *rx[8];
+        while (static_cast<int>(received.size()) < kPackets) {
+            // Send in small bursts while packets remain.
+            if (next_send < kPackets) {
+                const int want = static_cast<int>(
+                    std::min<std::uint64_t>(8, kPackets - next_send));
+                int got = co_await nic.allocBufs(0, 64, tx, want);
+                if (got > 0) {
+                    std::vector<mem::CoherentSystem::Span> spans;
+                    for (int i = 0; i < got; ++i)
+                        spans.push_back({tx[i]->addr, 64});
+                    co_await system.postMulti(agent, spans, nullptr);
+                    for (int i = 0; i < got; ++i) {
+                        tx[i]->len = 64;
+                        tx[i]->txTime = simv.now();
+                        tx[i]->userData = next_send + i;
+                    }
+                    int sent = co_await nic.txBurst(0, tx, got);
+                    next_send += static_cast<std::uint64_t>(sent);
+                    if (sent < got)
+                        co_await nic.freeBufs(0, tx + sent, got - sent);
+                }
+            }
+            int nr = co_await nic.rxBurst(0, rx, 8);
+            for (int i = 0; i < nr; ++i)
+                received.push_back(rx[i]->userData);
+            if (nr > 0)
+                co_await nic.freeBufs(0, rx, nr);
+            if (nr == 0 && next_send >= kPackets) {
+                co_await nic.idleWait(0,
+                                      simv.now() + sim::fromUs(20.0));
+            }
+        }
+        co_return;
+    };
+    simv.spawn(runBody(body, done));
+    simv.run(sim::fromUs(30000.0));
+
+    ASSERT_TRUE(done) << "loopback did not deliver all packets";
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(kPackets));
+    // Exactly once, and in order (single queue preserves FIFO).
+    for (int i = 0; i < kPackets; ++i) {
+        EXPECT_EQ(received[static_cast<std::size_t>(i)],
+                  static_cast<std::uint64_t>(i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, CcNicConservation,
+    ::testing::Combine(
+        ::testing::Values(driver::RingLayout::Grouped,
+                          driver::RingLayout::Packed,
+                          driver::RingLayout::Padded),
+        ::testing::Values(driver::SignalMode::Inline,
+                          driver::SignalMode::Register),
+        ::testing::Values(true, false),
+        ::testing::Values("ICX", "SPR")),
+    [](const ::testing::TestParamInfo<CcNicParam> &info) {
+        const driver::RingLayout layout = std::get<0>(info.param);
+        const driver::SignalMode signal = std::get<1>(info.param);
+        std::string name;
+        name += layout == driver::RingLayout::Grouped   ? "Grouped"
+                : layout == driver::RingLayout::Packed ? "Packed"
+                                                        : "Padded";
+        name += signal == driver::SignalMode::Inline ? "Inline"
+                                                     : "Register";
+        name += std::get<2>(info.param) ? "NicMgmt" : "HostMgmt";
+        name += std::get<3>(info.param);
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Mempool invariants across the pool configuration space.
+// ---------------------------------------------------------------------
+
+using PoolParam = std::tuple<bool /*small*/, bool /*recycle*/,
+                             bool /*nonseq*/, bool /*shared*/,
+                             int /*stripes*/>;
+
+class PoolInvariants : public ::testing::TestWithParam<PoolParam>
+{};
+
+TEST_P(PoolInvariants, NoDoubleAllocationAndFullConservation)
+{
+    const auto [small, recycle, nonseq, shared, stripes] = GetParam();
+    sim::Simulator simv;
+    mem::CoherentSystem system(simv, mem::icxConfig());
+    const mem::AgentId a0 = system.addAgent(0);
+    const mem::AgentId a1 = system.addAgent(1);
+    sim::Rng rng(13);
+
+    driver::MempoolConfig cfg;
+    cfg.largeCount = 128;
+    cfg.smallCount = 128;
+    cfg.smallBuffers = small;
+    cfg.recycleCache = recycle;
+    cfg.nonSequentialFill = nonseq;
+    cfg.sharedAccess = shared;
+    cfg.stripes = stripes;
+    driver::Mempool pool(system, cfg, rng);
+
+    bool done = false;
+    auto body = [&]() -> sim::Coro<void> {
+        sim::Rng r(99);
+        std::set<PacketBuf *> held;
+        std::vector<PacketBuf *> order;
+        for (int iter = 0; iter < 400; ++iter) {
+            const mem::AgentId ag = r.chance(0.5) ? a0 : a1;
+            const int stripe =
+                static_cast<int>(r.below(
+                    static_cast<std::uint64_t>(stripes)));
+            if (r.chance(0.6) && held.size() < 100) {
+                PacketBuf *bufs[8];
+                const std::uint32_t hint =
+                    r.chance(0.5) ? 64u : 1500u;
+                int got = co_await pool.allocBurst(
+                    ag, hint,
+                    bufs, static_cast<int>(1 + r.below(8)), stripe);
+                for (int i = 0; i < got; ++i) {
+                    // Property: never hand out a buffer twice.
+                    EXPECT_TRUE(held.insert(bufs[i]).second);
+                    order.push_back(bufs[i]);
+                }
+            } else if (!order.empty()) {
+                const std::size_t n =
+                    1 + r.below(std::min<std::uint64_t>(
+                            8, order.size()));
+                std::vector<PacketBuf *> frees(order.end() - n,
+                                               order.end());
+                order.resize(order.size() - n);
+                for (PacketBuf *b : frees)
+                    held.erase(b);
+                co_await pool.freeBurst(ag, frees.data(),
+                                        static_cast<int>(n), stripe);
+            }
+        }
+        // Return everything and check conservation: all buffers are
+        // free again (in recycle stacks or global rings).
+        if (!order.empty()) {
+            co_await pool.freeBurst(a0, order.data(),
+                                    static_cast<int>(order.size()), 0);
+        }
+        co_return;
+    };
+    simv.spawn(runBody(body, done));
+    simv.run();
+    ASSERT_TRUE(done);
+
+    // Drain: with recycling off, everything must be in the global
+    // rings; with it on, the recycle stacks hold the remainder. Either
+    // way, re-allocating everything must succeed exactly once.
+    bool done2 = false;
+    auto drain = [&]() -> sim::Coro<void> {
+        std::set<PacketBuf *> seen;
+        for (int stripe = 0; stripe < stripes; ++stripe) {
+            for (;;) {
+                PacketBuf *bufs[16];
+                int got = co_await pool.allocBurst(a0, 1500, bufs, 16,
+                                                   stripe);
+                for (int i = 0; i < got; ++i)
+                    EXPECT_TRUE(seen.insert(bufs[i]).second);
+                if (got < 16)
+                    break;
+            }
+        }
+        const std::size_t total =
+            pool.totalCount(driver::BufClass::Large);
+        EXPECT_LE(seen.size(), total);
+        // With recycling, up to 2 agents' stacks may retain buffers.
+        const std::size_t retained = 2 * cfg.recycleDepth;
+        EXPECT_GE(seen.size(),
+                  total > retained ? total - retained : 0);
+        co_return;
+    };
+    simv.spawn(runBody(drain, done2));
+    simv.run();
+    ASSERT_TRUE(done2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPools, PoolInvariants,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 4)));
+
+// ---------------------------------------------------------------------
+// Coherence determinism and version monotonicity under random access
+// sequences.
+// ---------------------------------------------------------------------
+
+class CoherenceRandom : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CoherenceRandom, DeterministicAndMonotonic)
+{
+    const int seed = GetParam();
+    auto run_once = [&](std::vector<std::uint32_t> *versions) {
+        sim::Simulator simv;
+        mem::CoherentSystem m(simv, mem::icxConfig());
+        const mem::AgentId a0 = m.addAgent(0);
+        const mem::AgentId a1 = m.addAgent(1);
+        const mem::AgentId a2 = m.addAgent(1);
+        const mem::Addr base = m.alloc(0, 64 * mem::kLineBytes);
+        bool done = false;
+        auto body = [&]() -> sim::Coro<void> {
+            sim::Rng r(static_cast<std::uint64_t>(seed));
+            std::uint32_t last_version = 0;
+            const mem::Addr hot = base; // One hot line.
+            for (int i = 0; i < 300; ++i) {
+                const mem::AgentId ag =
+                    (r.below(3) == 0) ? a0 : (r.below(2) ? a1 : a2);
+                const mem::Addr addr =
+                    base + r.below(64) * mem::kLineBytes;
+                switch (r.below(5)) {
+                  case 0:
+                    co_await m.load(ag, addr, 8);
+                    break;
+                  case 1:
+                    co_await m.store(ag, addr, 8);
+                    break;
+                  case 2:
+                    co_await m.store(ag, hot, 8);
+                    break;
+                  case 3:
+                    co_await m.atomicRmw(ag, hot);
+                    break;
+                  default:
+                    co_await m.loadRange(ag, addr, 4 * mem::kLineBytes);
+                    break;
+                }
+                // Property: line versions never decrease.
+                const std::uint32_t v = m.lineVersion(hot);
+                EXPECT_GE(v, last_version);
+                last_version = v;
+            }
+            co_return;
+        };
+        simv.spawn(runBody(body, done));
+        simv.run();
+        EXPECT_TRUE(done);
+        versions->push_back(m.lineVersion(base));
+        versions->push_back(
+            static_cast<std::uint32_t>(simv.now() & 0xffffffffu));
+    };
+    std::vector<std::uint32_t> first, second;
+    run_once(&first);
+    run_once(&second);
+    // Property: bit-identical replay.
+    EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceRandom,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel: event ordering,
+ * coroutine tasks, awaitables, synchronization primitives, bandwidth
+ * resources, and deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace {
+
+using namespace ccn::sim;
+
+TEST(Time, Conversions)
+{
+    EXPECT_EQ(fromNs(1.0), kNanosecond);
+    EXPECT_EQ(fromUs(2.0), 2 * kMicrosecond);
+    EXPECT_DOUBLE_EQ(toNs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(toUs(2 * kMicrosecond), 2.0);
+    // 64B at 64GB/s is 1ns.
+    EXPECT_EQ(serializationTime(64, 64e9), kNanosecond);
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerSec(8.0), 1e9);
+}
+
+TEST(EventQueue, CallbacksRunInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.scheduleCallback(300, [&] { order.push_back(3); });
+    sim.scheduleCallback(100, [&] { order.push_back(1); });
+    sim.scheduleCallback(200, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        sim.scheduleCallback(42, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunLimitStopsTime)
+{
+    Simulator sim;
+    bool ran = false;
+    sim.scheduleCallback(1000, [&] { ran = true; });
+    sim.run(500);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.now(), 500u);
+    sim.run();
+    EXPECT_TRUE(ran);
+}
+
+Task
+delayTask(Simulator &sim, std::vector<Tick> &marks)
+{
+    marks.push_back(sim.now());
+    co_await sim.delay(100);
+    marks.push_back(sim.now());
+    co_await sim.delay(0);
+    marks.push_back(sim.now());
+    co_await sim.delayUntil(5000);
+    marks.push_back(sim.now());
+}
+
+TEST(Task, DelaysAdvanceTime)
+{
+    Simulator sim;
+    std::vector<Tick> marks;
+    sim.spawn(delayTask(sim, marks));
+    sim.run();
+    ASSERT_EQ(marks.size(), 4u);
+    EXPECT_EQ(marks[0], 0u);
+    EXPECT_EQ(marks[1], 100u);
+    EXPECT_EQ(marks[2], 100u);
+    EXPECT_EQ(marks[3], 5000u);
+}
+
+Coro<int>
+addLater(Simulator &sim, int a, int b)
+{
+    co_await sim.delay(10);
+    co_return a + b;
+}
+
+Coro<int>
+nested(Simulator &sim)
+{
+    int x = co_await addLater(sim, 1, 2);
+    int y = co_await addLater(sim, x, 10);
+    co_return y;
+}
+
+Task
+coroDriver(Simulator &sim, int &out)
+{
+    out = co_await nested(sim);
+}
+
+TEST(Coro, NestedAwaitsReturnValues)
+{
+    Simulator sim;
+    int out = 0;
+    sim.spawn(coroDriver(sim, out));
+    sim.run();
+    EXPECT_EQ(out, 13);
+    EXPECT_EQ(sim.now(), 20u);
+}
+
+Task
+producer(Simulator &sim, Mailbox<int> &box)
+{
+    for (int i = 0; i < 3; ++i) {
+        co_await sim.delay(100);
+        box.put(i);
+    }
+}
+
+Task
+consumer(Simulator &sim, Mailbox<int> &box, std::vector<std::pair<Tick, int>> &got)
+{
+    for (int i = 0; i < 3; ++i) {
+        int v = co_await box.get();
+        got.emplace_back(sim.now(), v);
+    }
+}
+
+TEST(Mailbox, BlocksUntilPut)
+{
+    Simulator sim;
+    Mailbox<int> box(sim);
+    std::vector<std::pair<Tick, int>> got;
+    sim.spawn(consumer(sim, box, got));
+    sim.spawn(producer(sim, box));
+    sim.run();
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], (std::pair<Tick, int>{100, 0}));
+    EXPECT_EQ(got[1], (std::pair<Tick, int>{200, 1}));
+    EXPECT_EQ(got[2], (std::pair<Tick, int>{300, 2}));
+}
+
+Task
+semUser(Simulator &sim, Semaphore &sem, int &active, int &peak)
+{
+    co_await sem.acquire();
+    active++;
+    peak = std::max(peak, active);
+    co_await sim.delay(50);
+    active--;
+    sem.release();
+}
+
+TEST(Semaphore, LimitsConcurrency)
+{
+    Simulator sim;
+    Semaphore sem(sim, 2);
+    int active = 0, peak = 0;
+    for (int i = 0; i < 6; ++i)
+        sim.spawn(semUser(sim, sem, active, peak));
+    sim.run();
+    EXPECT_EQ(peak, 2);
+    EXPECT_EQ(active, 0);
+    // 6 users, 2 at a time, 50 ticks each = 150 ticks.
+    EXPECT_EQ(sim.now(), 150u);
+}
+
+Task
+gateWaiter(Simulator &sim, Gate &gate, int &wakeups)
+{
+    co_await gate.wait();
+    (void)sim;
+    wakeups++;
+}
+
+TEST(Gate, NotifyAllWakesEveryWaiter)
+{
+    Simulator sim;
+    Gate gate(sim);
+    int wakeups = 0;
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(gateWaiter(sim, gate, wakeups));
+    sim.scheduleCallback(500, [&] { gate.notifyAll(); });
+    sim.run();
+    EXPECT_EQ(wakeups, 4);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(BandwidthResource, SerializesReservations)
+{
+    Simulator sim;
+    BandwidthResource link(sim, 64e9); // 64B/ns.
+    // Two back-to-back 64B transfers: the second queues behind the
+    // first.
+    Tick t1 = link.reserve(64);
+    Tick t2 = link.reserve(64);
+    EXPECT_EQ(t1, kNanosecond);
+    EXPECT_EQ(t2, 2 * kNanosecond);
+    // A reservation in the future starts there.
+    Tick t3 = link.reserveAt(10 * kNanosecond, 64);
+    EXPECT_EQ(t3, 11 * kNanosecond);
+    EXPECT_EQ(link.bytesServed(), 192u);
+}
+
+TEST(BandwidthResource, RateChangeAffectsNewReservations)
+{
+    Simulator sim;
+    BandwidthResource link(sim, 64e9);
+    link.setRate(32e9);
+    EXPECT_EQ(link.reserve(64), 2 * kNanosecond);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(10), 10u);
+    }
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    Rng r(99);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+Task
+spawnMany(Simulator &sim, int depth, int &count)
+{
+    count++;
+    if (depth > 0)
+        sim.spawn(spawnMany(sim, depth - 1, count));
+    co_return;
+}
+
+TEST(Simulator, TaskSpawningFromTasks)
+{
+    Simulator sim;
+    int count = 0;
+    sim.spawn(spawnMany(sim, 100, count));
+    sim.run();
+    EXPECT_EQ(count, 101);
+}
+
+TEST(Simulator, StopRequestHaltsRun)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.scheduleCallback(10, [&] {
+        ran++;
+        sim.stop();
+    });
+    sim.scheduleCallback(20, [&] { ran++; });
+    sim.run();
+    EXPECT_EQ(ran, 1);
+    sim.run();
+    EXPECT_EQ(ran, 2);
+}
+
+} // namespace

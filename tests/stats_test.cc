@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the stats package: histogram precision, percentiles,
+ * merging, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using ccn::stats::Histogram;
+using ccn::stats::Table;
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.median(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesExact)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 63u);
+    // Values below 64 land in exact buckets.
+    EXPECT_EQ(h.percentile(100.0), 63u);
+}
+
+TEST(Histogram, PercentilePrecisionWithinBucketError)
+{
+    Histogram h;
+    // Uniform 1..1'000'000.
+    for (std::uint64_t v = 1; v <= 1000000; v += 37)
+        h.record(v);
+    const double tol = 0.02; // 64 sub-buckets => <1.6% quantization.
+    EXPECT_NEAR(static_cast<double>(h.median()), 500000.0,
+                500000.0 * tol + 1);
+    EXPECT_NEAR(static_cast<double>(h.percentile(99.0)), 990000.0,
+                990000.0 * tol + 1);
+    EXPECT_NEAR(h.mean(), 500000.0, 1000.0);
+}
+
+TEST(Histogram, RecordNActsLikeRepeats)
+{
+    Histogram a, b;
+    a.recordN(1000, 5);
+    for (int i = 0; i < 5; ++i)
+        b.record(1000);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.median(), b.median());
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(Histogram, MergeCombinesSamples)
+{
+    Histogram a, b;
+    for (int i = 0; i < 1000; ++i)
+        a.record(100);
+    for (int i = 0; i < 1000; ++i)
+        b.record(10000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2000u);
+    EXPECT_EQ(a.min(), 100u);
+    EXPECT_GE(a.max(), 10000u);
+    // Median falls on the boundary between the two populations.
+    EXPECT_NEAR(static_cast<double>(a.percentile(25.0)), 100.0, 4.0);
+    EXPECT_NEAR(static_cast<double>(a.percentile(75.0)), 10000.0, 200.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, LargeValuesBounded)
+{
+    Histogram h;
+    const std::uint64_t big = ~std::uint64_t{0} - 3;
+    h.record(big);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), big);
+    // Bucketized percentile is within one bucket of the value.
+    EXPECT_GE(h.percentile(50.0), big / 2 - big / 64);
+}
+
+TEST(Histogram, RandomStreamPercentilesMonotone)
+{
+    Histogram h;
+    ccn::sim::Rng rng(5);
+    for (int i = 0; i < 100000; ++i)
+        h.record(rng.below(1u << 20));
+    std::uint64_t prev = 0;
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+        std::uint64_t v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Table, AlignsAndPrints)
+{
+    Table t({"series", "x", "measured", "paper"});
+    t.row().cell("CC-NIC").cell(64).cell(1.5, 1).cell("1.5");
+    t.row().cell("E810").cell(1500).cell(200.25, 2).cell("200");
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("series"), std::string::npos);
+    EXPECT_NE(out.find("CC-NIC"), std::string::npos);
+    EXPECT_NE(out.find("200.25"), std::string::npos);
+    // Header line plus separator plus two rows.
+    int newlines = 0;
+    for (char ch : out)
+        newlines += ch == '\n';
+    EXPECT_EQ(newlines, 4);
+}
+
+} // namespace

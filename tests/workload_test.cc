@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for workload distributions: Zipf skew and the Ads/Geo size
+ * mixtures' published anchors (61% / 13% of objects under 100B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/dists.hh"
+
+namespace {
+
+using namespace ccn;
+
+TEST(Zipf, SkewConcentratesOnHotKeys)
+{
+    workload::ZipfSampler z(100000, 0.75);
+    sim::Rng rng(17);
+    const int n = 200000;
+    int top100 = 0;
+    for (int i = 0; i < n; ++i) {
+        if (z.sample(rng) < 100)
+            top100++;
+    }
+    // Zipf(0.75) over 100k keys: top-100 draws far more than uniform
+    // (0.1%), but far from everything.
+    EXPECT_GT(top100, n / 40);
+    EXPECT_LT(top100, n / 2);
+}
+
+TEST(Zipf, CoversTail)
+{
+    workload::ZipfSampler z(1000, 0.75);
+    sim::Rng rng(18);
+    std::uint64_t max_seen = 0;
+    for (int i = 0; i < 50000; ++i)
+        max_seen = std::max(max_seen, z.sample(rng));
+    EXPECT_GT(max_seen, 900u);
+}
+
+TEST(SizeDist, AdsSmallObjectFractionMatchesPaper)
+{
+    auto d = workload::SizeDist::ads();
+    sim::Rng rng(19);
+    int small = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (d.sample(rng) < 100)
+            small++;
+    }
+    EXPECT_NEAR(small / static_cast<double>(n), 0.61, 0.02);
+}
+
+TEST(SizeDist, GeoSmallObjectFractionMatchesPaper)
+{
+    auto d = workload::SizeDist::geo();
+    sim::Rng rng(20);
+    int small = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (d.sample(rng) < 100)
+            small++;
+    }
+    EXPECT_NEAR(small / static_cast<double>(n), 0.13, 0.02);
+}
+
+TEST(SizeDist, SizesRespectMtu)
+{
+    for (auto d :
+         {workload::SizeDist::ads(), workload::SizeDist::geo()}) {
+        sim::Rng rng(21);
+        for (int i = 0; i < 20000; ++i) {
+            const std::uint32_t s = d.sample(rng);
+            EXPECT_GE(s, 16u);
+            EXPECT_LE(s, 9600u);
+        }
+    }
+}
+
+TEST(SizeDist, GeoMeanLargerThanAds)
+{
+    EXPECT_GT(workload::SizeDist::geo().mean(),
+              2.5 * workload::SizeDist::ads().mean());
+}
+
+} // namespace
