@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pingpong.dir/bench_fig08_pingpong.cc.o"
+  "CMakeFiles/bench_fig08_pingpong.dir/bench_fig08_pingpong.cc.o.d"
+  "bench_fig08_pingpong"
+  "bench_fig08_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

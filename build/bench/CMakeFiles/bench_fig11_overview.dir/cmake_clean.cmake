@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_overview.dir/bench_fig11_overview.cc.o"
+  "CMakeFiles/bench_fig11_overview.dir/bench_fig11_overview.cc.o.d"
+  "bench_fig11_overview"
+  "bench_fig11_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

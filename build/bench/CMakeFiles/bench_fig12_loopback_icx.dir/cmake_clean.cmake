@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_loopback_icx.dir/bench_fig12_loopback_icx.cc.o"
+  "CMakeFiles/bench_fig12_loopback_icx.dir/bench_fig12_loopback_icx.cc.o.d"
+  "bench_fig12_loopback_icx"
+  "bench_fig12_loopback_icx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_loopback_icx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_loopback_spr.dir/bench_fig13_loopback_spr.cc.o"
+  "CMakeFiles/bench_fig13_loopback_spr.dir/bench_fig13_loopback_spr.cc.o.d"
+  "bench_fig13_loopback_spr"
+  "bench_fig13_loopback_spr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_loopback_spr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

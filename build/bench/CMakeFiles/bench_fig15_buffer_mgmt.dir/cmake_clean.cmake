@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_buffer_mgmt.dir/bench_fig15_buffer_mgmt.cc.o"
+  "CMakeFiles/bench_fig15_buffer_mgmt.dir/bench_fig15_buffer_mgmt.cc.o.d"
+  "bench_fig15_buffer_mgmt"
+  "bench_fig15_buffer_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_buffer_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_coherence_counters.dir/bench_fig17_coherence_counters.cc.o"
+  "CMakeFiles/bench_fig17_coherence_counters.dir/bench_fig17_coherence_counters.cc.o.d"
+  "bench_fig17_coherence_counters"
+  "bench_fig17_coherence_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_coherence_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_same_socket.cc" "bench/CMakeFiles/bench_fig18_same_socket.dir/bench_fig18_same_socket.cc.o" "gcc" "bench/CMakeFiles/bench_fig18_same_socket.dir/bench_fig18_same_socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ccn_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/ccn_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccnic/CMakeFiles/ccn_ccnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ccn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/ccn_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccn_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ccn_driver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

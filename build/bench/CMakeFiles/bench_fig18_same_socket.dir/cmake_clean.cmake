@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_same_socket.dir/bench_fig18_same_socket.cc.o"
+  "CMakeFiles/bench_fig18_same_socket.dir/bench_fig18_same_socket.cc.o.d"
+  "bench_fig18_same_socket"
+  "bench_fig18_same_socket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_same_socket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

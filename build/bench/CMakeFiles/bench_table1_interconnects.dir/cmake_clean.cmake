@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_interconnects.dir/bench_table1_interconnects.cc.o"
+  "CMakeFiles/bench_table1_interconnects.dir/bench_table1_interconnects.cc.o.d"
+  "bench_table1_interconnects"
+  "bench_table1_interconnects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

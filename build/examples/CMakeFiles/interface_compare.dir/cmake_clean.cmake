@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_compare.dir/interface_compare.cpp.o"
+  "CMakeFiles/interface_compare.dir/interface_compare.cpp.o.d"
+  "interface_compare"
+  "interface_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

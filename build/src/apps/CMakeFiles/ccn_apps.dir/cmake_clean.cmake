@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_apps.dir/kvstore.cc.o"
+  "CMakeFiles/ccn_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/ccn_apps.dir/tcprpc.cc.o"
+  "CMakeFiles/ccn_apps.dir/tcprpc.cc.o.d"
+  "libccn_apps.a"
+  "libccn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

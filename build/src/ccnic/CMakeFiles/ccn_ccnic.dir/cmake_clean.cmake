@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_ccnic.dir/ccnic.cc.o"
+  "CMakeFiles/ccn_ccnic.dir/ccnic.cc.o.d"
+  "libccn_ccnic.a"
+  "libccn_ccnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_ccnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

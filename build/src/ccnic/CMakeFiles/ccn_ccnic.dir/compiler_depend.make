@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccn_ccnic.
+# This may be replaced when dependencies are built.

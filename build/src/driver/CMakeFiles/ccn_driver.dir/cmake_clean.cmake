@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_driver.dir/mempool.cc.o"
+  "CMakeFiles/ccn_driver.dir/mempool.cc.o.d"
+  "libccn_driver.a"
+  "libccn_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

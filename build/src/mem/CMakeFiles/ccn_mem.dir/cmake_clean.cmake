@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_mem.dir/cache.cc.o"
+  "CMakeFiles/ccn_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ccn_mem.dir/coherence.cc.o"
+  "CMakeFiles/ccn_mem.dir/coherence.cc.o.d"
+  "CMakeFiles/ccn_mem.dir/platform.cc.o"
+  "CMakeFiles/ccn_mem.dir/platform.cc.o.d"
+  "libccn_mem.a"
+  "libccn_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_nic.dir/pcie_nic.cc.o"
+  "CMakeFiles/ccn_nic.dir/pcie_nic.cc.o.d"
+  "libccn_nic.a"
+  "libccn_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_pcie.dir/pcie.cc.o"
+  "CMakeFiles/ccn_pcie.dir/pcie.cc.o.d"
+  "libccn_pcie.a"
+  "libccn_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_sim.dir/simulator.cc.o"
+  "CMakeFiles/ccn_sim.dir/simulator.cc.o.d"
+  "libccn_sim.a"
+  "libccn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_workload.dir/loopback.cc.o"
+  "CMakeFiles/ccn_workload.dir/loopback.cc.o.d"
+  "libccn_workload.a"
+  "libccn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnic_test.dir/ccnic_test.cc.o"
+  "CMakeFiles/ccnic_test.dir/ccnic_test.cc.o.d"
+  "ccnic_test"
+  "ccnic_test.pdb"
+  "ccnic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
