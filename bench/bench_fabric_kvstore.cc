@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Client-server KV store over the network fabric: throughput and RTT
+ * versus link bandwidth. Unlike the loopback benches, both endpoints
+ * here are complete hosts (own CoherentSystem + CC-NIC) joined by
+ * modeled links and a switch, so the sweep exposes the transition from
+ * application-bound to fabric-bound operation: at high bandwidth the
+ * server's service rate limits throughput, while skinny links shift
+ * the bottleneck to the server uplink, whose bounded egress queue
+ * tail-drops response traffic instead of blocking the simulation.
+ */
+
+#include <memory>
+
+#include "bench/common.hh"
+#include "net/fabric.hh"
+#include "stats/json.hh"
+#include "workload/clientserver.hh"
+
+using namespace ccn;
+
+namespace {
+
+struct FabricPoint
+{
+    workload::ClientServerResult r;
+    net::PortCounters server, client;
+};
+
+FabricPoint
+runPoint(double gbps, std::size_t queue_pkts, double offered)
+{
+    const auto plat = mem::icxConfig();
+    sim::Simulator simv;
+    mem::CoherentSystem server_mem(simv, plat);
+    mem::CoherentSystem client_mem(simv, plat);
+    sim::Rng rng_s(11), rng_c(12);
+
+    auto mk = [&](mem::CoherentSystem &m, int queues, sim::Rng &rng) {
+        auto cfg = ccnic::optimizedConfig(queues, 0, plat);
+        cfg.loopback = false;
+        auto nic = std::make_unique<ccnic::CcNic>(simv, m, cfg, 0, 1,
+                                                  rng);
+        nic->start();
+        return nic;
+    };
+    auto server_nic = mk(server_mem, 4, rng_s);
+    auto client_nic = mk(client_mem, 2, rng_c);
+
+    net::Fabric fabric(simv);
+    net::LinkConfig link;
+    link.gbps = gbps;
+    link.queuePackets = queue_pkts;
+    const auto server_addr =
+        fabric.attach("server", net::hooksFor(*server_nic), link);
+    const auto client_addr =
+        fabric.attach("client", net::hooksFor(*client_nic), link);
+
+    workload::ClientServerConfig cfg;
+    cfg.kv.serverThreads = 4;
+    cfg.kv.numObjects = 1u << 16;
+    cfg.kv.sizes = workload::SizeDist::ads();
+    cfg.offeredOps = offered;
+    cfg.clientQueues = 2;
+    cfg.window = sim::fromUs(250.0);
+
+    FabricPoint p;
+    p.r = workload::runKvClientServer(simv, server_mem, *server_nic,
+                                      client_mem, *client_nic,
+                                      server_addr, cfg);
+    p.server = fabric.counters(server_addr);
+    p.client = fabric.counters(client_addr);
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    stats::banner("Fabric KV store: client-server throughput vs link "
+                  "bandwidth (ICX, 4 server threads)");
+    stats::Table t({"link_gbps", "offered_Mops", "served_Mops",
+                    "gbps_to_client", "rtt_p50_ns", "rtt_p99_ns",
+                    "uplink_drops", "note"});
+    for (const double gbps : {2.5, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+        const auto p = runPoint(gbps, 128, 2e6);
+        const std::uint64_t drops =
+            p.server.txDrops + p.server.rxDrops + p.client.txDrops +
+            p.client.rxDrops;
+        t.row().cell(gbps, 1).cell(p.r.offeredMops, 2)
+            .cell(p.r.achievedMops, 2).cell(p.r.gbpsIn, 1)
+            .cell(p.r.rttP50Ns, 0).cell(p.r.rttP99Ns, 0).cell(drops)
+            .cell(drops ? "fabric-bound (tail drops)"
+                        : "application-bound");
+    }
+    t.print();
+
+    stats::JsonReport json("fabric_kvstore");
+    json.add("throughput_vs_bandwidth", t);
+    json.write();
+    return 0;
+}

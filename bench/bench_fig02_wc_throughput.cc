@@ -10,6 +10,7 @@
 
 #include "bench/common.hh"
 #include "pcie/pcie.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 
@@ -83,6 +84,7 @@ wbThroughputGbps(std::uint32_t bytes_per_barrier)
 int
 main()
 {
+    stats::JsonReport json("fig02_wc_throughput");
     stats::banner("Sec 2.2: UC MMIO read latency (ICX -> E810)");
     {
         sim::Simulator simv;
@@ -105,6 +107,7 @@ main()
         t.row().cell("8B UC read").cell(lat8, 0).cell("982");
         t.row().cell("64B AVX512 read").cell(lat64, 0).cell("1026");
         t.print();
+        json.add("uc_mmio_read_latency", t);
     }
 
     stats::banner("Figure 2: single-threaded write throughput [Gbps]");
@@ -122,5 +125,7 @@ main()
                       : (sz >= 4096 ? "WC MMIO ~76% of WB" : "-"));
     }
     t.print();
+    json.add("write_throughput", t);
+    json.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "bench/common.hh"
 #include "nic/pcie_nic.hh"
 #include "pcie/pcie.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 
@@ -49,6 +50,7 @@ cumulativeUs(const pcie::PcieParams &params, int n)
 int
 main()
 {
+    stats::JsonReport json("fig03_wc_store_latency");
     stats::banner(
         "Figure 3: cumulative MMIO store latency vs store count [us]");
     stats::Table t({"stores", "E810_us", "CX6_us", "paper_shape"});
@@ -61,5 +63,7 @@ main()
                           : "grows ~0.3-0.5us per store; E810 steeper");
     }
     t.print();
+    json.add("wc_store_latency", t);
+    json.write();
     return 0;
 }

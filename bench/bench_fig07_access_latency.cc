@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 
@@ -67,6 +68,7 @@ measure(const mem::PlatformConfig &plat)
 int
 main()
 {
+    stats::JsonReport json("fig07_access_latency");
     stats::banner("Figure 7: access latency by target state [ns]");
     stats::Table t({"platform", "target", "measured_ns", "paper_ns"});
     const Fig7Row spr = measure(mem::sprConfig());
@@ -84,5 +86,7 @@ main()
     for (int i = 0; i < 5; ++i)
         t.row().cell("ICX").cell(names[i]).cell(icxv[i], 1).cell(icxp[i]);
     t.print();
+    json.add("access_latency", t);
+    json.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 
@@ -84,6 +85,7 @@ pingpongNs(const mem::PlatformConfig &plat, int h1, int h2,
 int
 main()
 {
+    stats::JsonReport json("fig08_pingpong");
     stats::banner("Figure 8: pingpong latency by layout/homing [ns]");
     stats::Table t({"case", "SPR_ns", "ICX_ns", "paper_shape"});
     struct Case
@@ -111,5 +113,7 @@ main()
             .cell(c.note);
     }
     t.print();
+    json.add("pingpong_latency", t);
+    json.write();
     return 0;
 }

@@ -5,6 +5,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 
@@ -86,6 +87,7 @@ streamGbps(const mem::PlatformConfig &plat, int pairs, bool caching)
 int
 main()
 {
+    stats::JsonReport json("fig09_stream_throughput");
     stats::banner("Figure 9: stream throughput, caching vs NT [Gbps]");
     stats::Table t({"platform", "pairs", "caching", "nontemporal",
                     "paper_anchor"});
@@ -108,5 +110,7 @@ main()
             .cell(pairs == 32 ? "caching ~1.6x NT; sat ~1020Gbps" : "-");
     }
     t.print();
+    json.add("stream_throughput", t);
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -36,6 +37,7 @@ curveFor(const char *name,
 int
 main()
 {
+    stats::JsonReport json("fig11_overview");
     auto icx = mem::icxConfig();
     auto mkCc = [&] {
         return makeCcNicWorld(icx, ccnic::optimizedConfig(16, 0, icx));
@@ -61,6 +63,7 @@ main()
     curveFor("PCIe-E810", mkE810, 1500, 20e6, t);
     curveFor("PCIe-CX6", mkCx6, 1500, 20e6, t);
     t.print();
+    json.add("throughput_latency", t);
 
     stats::banner("Sec 5.2 headline comparisons (64B, ICX)");
     workload::LoopbackConfig peak_cfg;
@@ -93,5 +96,7 @@ main()
     s.row().cell("CC-NIC/CX6 peak ratio").cell(cc_pps / c_pps, 2)
         .cell("4.3");
     s.print();
+    json.add("headline_comparisons", s);
+    json.write();
     return 0;
 }

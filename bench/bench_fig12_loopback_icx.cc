@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -13,6 +14,7 @@ using namespace ccn::bench;
 int
 main()
 {
+    stats::JsonReport json("fig12_loopback_icx");
     auto icx = mem::icxConfig();
     stats::banner("Figure 12: loopback vs core count, ICX");
     stats::Table t({"series", "pkt", "cores", "peak_Mpps", "Gbps",
@@ -54,8 +56,10 @@ main()
         }
     }
     t.print();
+    json.add("loopback_vs_cores", t);
 
     stats::banner("Sec 5.3 anchors (paper: CC-NIC min 490ns; 80% load "
                   "latency 88% below CX6; CX6 min 2116ns)");
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -13,6 +14,7 @@ using namespace ccn::bench;
 int
 main()
 {
+    stats::JsonReport json("fig13_loopback_spr");
     auto spr = mem::sprConfig();
     stats::banner("Figure 13: CC-NIC loopback vs core count, SPR");
     stats::Table t({"pkt", "cores", "peak_Mpps", "Gbps", "min_ns",
@@ -42,5 +44,7 @@ main()
         }
     }
     t.print();
+    json.add("loopback_vs_cores", t);
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -31,6 +32,7 @@ variant(const char *name, const ccnic::CcNicConfig &cfg,
 int
 main()
 {
+    stats::JsonReport json("fig14_signaling_layout");
     auto spr = mem::sprConfig();
     const int cores = 32;
 
@@ -45,6 +47,7 @@ main()
                 "paper: 1.3x lower rate, +59% min latency", a);
     }
     a.print();
+    json.add("signaling", a);
 
     stats::banner("Figure 14b: descriptor layout (SPR, 64B)");
     stats::Table b({"layout", "peak_Mpps", "min_ns", "paper"});
@@ -64,5 +67,7 @@ main()
                 "low latency, 1/3 the throughput", b);
     }
     b.print();
+    json.add("descriptor_layout", b);
+    json.write();
     return 0;
 }

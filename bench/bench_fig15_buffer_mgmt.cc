@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -13,6 +14,7 @@ using namespace ccn::bench;
 int
 main()
 {
+    stats::JsonReport json("fig15_buffer_mgmt");
     auto spr = mem::sprConfig();
     const int cores = 48;
 
@@ -67,5 +69,7 @@ main()
             .cell(s.paper);
     }
     t.print();
+    json.add("buffer_mgmt_ablation", t);
+    json.write();
     return 0;
 }

@@ -7,6 +7,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -29,6 +30,7 @@ peakAt(const std::function<std::unique_ptr<World>()> &mk, int tx_b,
 int
 main()
 {
+    stats::JsonReport json("fig16_batching");
     auto icx = mem::icxConfig();
     auto mkCc = [&] {
         return makeCcNicWorld(icx, ccnic::optimizedConfig(8, 0, icx));
@@ -49,6 +51,7 @@ main()
             .cell(b == 1 ? "paper: 0.27 vs 0.12" : "-");
     }
     a.print();
+    json.add("tx_batch_sweep", a);
 
     stats::banner("Figure 16b: RX batch sweep (TX fixed 32), 64B");
     stats::Table r({"rx_batch", "CC-NIC_frac", "E810_frac", "paper"});
@@ -59,5 +62,7 @@ main()
             .cell(b == 1 ? "paper: >=0.93 vs >=0.63" : "-");
     }
     r.print();
+    json.add("rx_batch_sweep", r);
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -58,6 +59,7 @@ measure(const ccnic::CcNicConfig &cfg, bool batched)
 int
 main()
 {
+    stats::JsonReport json("fig17_coherence_counters");
     auto spr = mem::sprConfig();
     stats::banner(
         "Figure 17: NIC remote accesses per TX-RX loopback (SPR)");
@@ -84,5 +86,7 @@ main()
             .cell("5.4").cell("4.9");
     }
     t.print();
+    json.add("coherence_counters", t);
+    json.write();
     return 0;
 }

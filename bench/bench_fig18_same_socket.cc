@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -15,6 +16,7 @@ using namespace ccn::bench;
 int
 main()
 {
+    stats::JsonReport json("fig18_same_socket");
     auto spr = mem::sprConfig();
     auto mkRemote = [&] {
         return makeCcNicWorld(spr, ccnic::optimizedConfig(1, 0, spr),
@@ -40,10 +42,13 @@ main()
         .cell("interconnect ~40-50% of latency; 1.5x tput");
     stats::Table s({"metric", "measured", "paper"});
     t.print();
+    json.add("deployment", t);
     s.row().cell("interconnect share of min latency [%]")
         .cell(100.0 * (1.0 - lmin / rmin), 0).cell("40-50");
     s.row().cell("same-socket per-thread speedup")
         .cell(lp.achievedMpps / rp.achievedMpps, 2).cell("1.5");
     s.print();
+    json.add("derived_metrics", s);
+    json.write();
     return 0;
 }

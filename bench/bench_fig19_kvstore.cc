@@ -9,6 +9,7 @@
 
 #include "apps/kvstore.hh"
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -74,6 +75,7 @@ kvMops(const char *kind, int threads, const workload::SizeDist &dist)
 int
 main()
 {
+    stats::JsonReport json("fig19_kvstore");
     stats::banner("Figure 19: KV store throughput vs thread count "
                   "(ICX, CX6-capped wire)");
     stats::Table t({"dist", "threads", "CC-NIC", "UPI-unopt", "PCIe",
@@ -102,5 +104,7 @@ main()
         }
     }
     t.print();
+    json.add("kv_throughput", t);
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -47,6 +48,7 @@ row(const char *name, const ccnic::CcNicConfig &cfg, std::uint32_t pkt,
 int
 main()
 {
+    stats::JsonReport json("fig20_prefetch");
     auto spr = mem::sprConfig();
     const int cores = 16;
     stats::banner("Figure 20: packet rate relative to prefetch-off "
@@ -59,5 +61,7 @@ main()
     row("Unopt 64B", ccnic::unoptimizedConfig(cores, 0, spr), 64,
         4.5e6 * cores, "prefetch strictly hurts (to -7%)", t);
     t.print();
+    json.add("prefetch_speedup", t);
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -49,6 +50,7 @@ probeAccessNs(double lat_factor)
 int
 main()
 {
+    stats::JsonReport json("fig21_sensitivity");
     auto spr = mem::sprConfig();
 
     stats::banner("Figure 21a: 64B latency vs interconnect latency "
@@ -75,6 +77,7 @@ main()
                       : "-");
     }
     a.print();
+    json.add("latency_sensitivity", a);
 
     stats::banner("Figure 21b: 1.5KB throughput vs interconnect "
                   "bandwidth (SPR, 16 threads)");
@@ -103,5 +106,7 @@ main()
                            : "-");
     }
     b.print();
+    json.add("bandwidth_sensitivity", b);
+    json.write();
     return 0;
 }

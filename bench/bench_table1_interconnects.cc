@@ -6,10 +6,12 @@
  */
 
 #include "stats/table.hh"
+#include "stats/json.hh"
 
 int
 main()
 {
+    ccn::stats::JsonReport json("table1_interconnects");
     ccn::stats::banner("Table 1: PCIe / CXL / UPI bandwidth");
     ccn::stats::Table t({"protocol", "GT/s", "1-link GB/s",
                          "max total GB/s", "model data ceiling"});
@@ -24,5 +26,7 @@ main()
     t.row().cell("Sapphire Rapids UPI").cell("16").cell("48")
         .cell("192 (x4)").cell("1020 Gbps cached reads");
     t.print();
+    json.add("interconnects", t);
+    json.write();
     return 0;
 }

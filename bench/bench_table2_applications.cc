@@ -9,6 +9,7 @@
 #include "apps/kvstore.hh"
 #include "apps/tcprpc.hh"
 #include "bench/common.hh"
+#include "stats/json.hh"
 
 using namespace ccn;
 using namespace ccn::bench;
@@ -135,6 +136,7 @@ runRpc(bool ccnic_kind, int threads)
 int
 main()
 {
+    stats::JsonReport json("table2_applications");
     stats::banner("Table 2: application peak Mops and threads to "
                   "reach >=95% of peak");
     stats::Table t({"workload", "PCIe_Mops", "CC-NIC_Mops",
@@ -173,5 +175,7 @@ main()
         .cell(rpc_c_peak, 1).cell(rpc_p_thr).cell(rpc_c_thr)
         .cell("58.3 / 64.6 Mops; 5 -> 3 threads");
     t.print();
+    json.add("applications", t);
+    json.write();
     return 0;
 }

@@ -13,10 +13,12 @@ namespace {
 
 constexpr int kBurst = 32;
 
+} // namespace
+
 /** Shared server state. */
-struct KvState
+struct KvServer::State
 {
-    KvState(mem::CoherentSystem &m, const KvConfig &cfg, sim::Rng &rng)
+    State(mem::CoherentSystem &m, const KvConfig &cfg, sim::Rng &rng)
         : zipf(cfg.numObjects, cfg.zipf)
     {
         // Hash index: open-addressed 8B entries, 2x objects.
@@ -38,6 +40,7 @@ struct KvState
     std::vector<Addr> objAddr;
     std::vector<std::uint32_t> objLen;
 
+    Tick runUntil = 0;
     Tick measureStart = 0;
     Tick measureEnd = 0;
     std::uint64_t served = 0;
@@ -49,11 +52,13 @@ struct KvState
     std::vector<std::vector<PacketBuf>> segPools;
 };
 
+namespace {
+
 /** One server thread handling GET/SET RPCs on queue q. */
 sim::Task
 serverThread(sim::Simulator &sim, mem::CoherentSystem &m,
              driver::NicInterface &nic, const KvConfig cfg, int q,
-             std::shared_ptr<KvState> st)
+             std::shared_ptr<KvServer::State> st)
 {
     const mem::AgentId agent = nic.hostAgent(q);
     PacketBuf *reqs[kBurst];
@@ -62,10 +67,10 @@ serverThread(sim::Simulator &sim, mem::CoherentSystem &m,
     std::vector<PacketBuf> &segs = st->segPools[q];
     std::size_t seg_next = 0;
 
-    while (sim.now() < st->measureEnd) {
+    while (sim.now() < st->runUntil) {
         const int nr = co_await nic.rxBurst(q, reqs, kBurst);
         if (nr == 0) {
-            co_await nic.idleWait(q, st->measureEnd);
+            co_await nic.idleWait(q, st->runUntil);
             continue;
         }
 
@@ -104,6 +109,10 @@ serverThread(sim::Simulator &sim, mem::CoherentSystem &m,
             hdr->txTime = reqs[i]->txTime;
             hdr->flowId = reqs[i]->flowId;
             hdr->userData = reqs[i]->userData;
+            // Address the response back to the requester; src is
+            // stamped by the fabric port on egress.
+            hdr->dst = reqs[i]->src;
+            hdr->src = 0;
             if (is_get[i]) {
                 // Zero-copy GET: attach the object as a second
                 // segment; no memcpy of the payload (§5.7).
@@ -133,7 +142,7 @@ serverThread(sim::Simulator &sim, mem::CoherentSystem &m,
                 co_await nic.txBurst(q, resp + sent, nresp - sent);
             if (tx == 0) {
                 co_await sim.delay(sim::fromNs(200.0));
-                if (sim.now() >= st->measureEnd)
+                if (sim.now() >= st->runUntil)
                     break;
                 continue;
             }
@@ -151,7 +160,7 @@ sim::Task
 clientGen(sim::Simulator &sim, driver::NicInterface &nic,
           std::function<void(int, const WirePacket &)> inject,
           std::shared_ptr<WireModel> inbound, const KvConfig cfg,
-          std::shared_ptr<KvState> st, std::uint64_t seed)
+          std::shared_ptr<KvServer::State> st, std::uint64_t seed)
 {
     sim::Rng rng(seed);
     const int queues = nic.numQueues();
@@ -183,6 +192,24 @@ clientGen(sim::Simulator &sim, driver::NicInterface &nic,
 
 } // namespace
 
+KvServer::KvServer(mem::CoherentSystem &m, const KvConfig &cfg,
+                   sim::Rng &rng)
+    : st_(std::make_shared<State>(m, cfg, rng)), cfg_(cfg)
+{}
+
+KvServer::~KvServer() = default;
+
+void
+KvServer::start(sim::Simulator &sim, mem::CoherentSystem &m,
+                driver::NicInterface &nic, Tick run_until)
+{
+    st_->runUntil = run_until;
+    st_->segPools.resize(cfg_.serverThreads,
+                         std::vector<PacketBuf>(2048));
+    for (int q = 0; q < cfg_.serverThreads; ++q)
+        sim.spawn(serverThread(sim, m, nic, cfg_, q, st_));
+}
+
 KvResult
 runKvStore(sim::Simulator &sim, mem::CoherentSystem &mem_system,
            driver::NicInterface &nic,
@@ -193,15 +220,15 @@ runKvStore(sim::Simulator &sim, mem::CoherentSystem &mem_system,
            WireModel &wire, const KvConfig &cfg)
 {
     sim::Rng rng(cfg.seed);
-    auto st = std::make_shared<KvState>(mem_system, cfg, rng);
+    KvServer server(mem_system, cfg, rng);
+    auto st = server.shared();
     st->measureStart = sim.now() + cfg.warmup;
     st->measureEnd = st->measureStart + cfg.window;
 
     // Outbound responses pass the wire cap and are counted.
-    std::shared_ptr<KvState> stp = st;
+    std::shared_ptr<KvServer::State> stp = st;
     WireModel *wp = &wire;
-    sim::Simulator *sp = &sim;
-    set_tx_sink([stp, wp, sp](int, const WirePacket &pkt) {
+    set_tx_sink([stp, wp](int, const WirePacket &pkt) {
         const Tick exit = wp->admit(pkt.len, pkt.segments);
         if (exit >= stp->measureStart && exit < stp->measureEnd) {
             stp->served++;
@@ -209,11 +236,7 @@ runKvStore(sim::Simulator &sim, mem::CoherentSystem &mem_system,
         }
     });
 
-    st->segPools.resize(cfg.serverThreads,
-                        std::vector<PacketBuf>(2048));
-    for (int q = 0; q < cfg.serverThreads; ++q) {
-        sim.spawn(serverThread(sim, mem_system, nic, cfg, q, st));
-    }
+    server.start(sim, mem_system, nic, st->measureEnd);
     // Two remote clients (paper: enough to saturate the server).
     auto inbound = std::make_shared<WireModel>(sim, wire.pps.rate(),
                                                wire.bytes.rate());

@@ -77,6 +77,38 @@ struct KvResult
 };
 
 /**
+ * Reusable KV server: owns the hash index and object store in
+ * simulated memory and spawns polling server threads against any
+ * NicInterface. Responses are addressed back to the requester
+ * (dst = request src), so the same server runs unchanged behind the
+ * loopback measurement harness (runKvStore) and a network fabric
+ * (workload/clientserver).
+ */
+class KvServer
+{
+  public:
+    KvServer(mem::CoherentSystem &m, const KvConfig &cfg, sim::Rng &rng);
+    ~KvServer();
+
+    /**
+     * Spawn cfg.serverThreads polling threads on queues
+     * [0, serverThreads); they exit once @p run_until passes.
+     */
+    void start(sim::Simulator &sim, mem::CoherentSystem &m,
+               driver::NicInterface &nic, sim::Tick run_until);
+
+    struct State;
+    State &state() { return *st_; }
+
+    /** Shared handle, for harnesses whose tasks outlive this scope. */
+    std::shared_ptr<State> shared() const { return st_; }
+
+  private:
+    std::shared_ptr<State> st_;
+    KvConfig cfg_;
+};
+
+/**
  * Run the KV server on @p nic (already started, external wire mode
  * will be configured by this harness) and measure peak served
  * throughput.

@@ -741,7 +741,7 @@ CcNic::nicTxTask(int q)
             if (!t.buf)
                 continue;
             WirePacket pkt{t.len, t.buf->txTime, t.buf->flowId,
-                           t.buf->userData, 1};
+                           t.buf->userData, 1, t.buf->src, t.buf->dst};
             if (t.buf->nextSeg)
                 pkt.segments = 2;
             deliverTx(q, pkt);
@@ -893,6 +893,8 @@ CcNic::nicRxTask(int q)
                         b->txTime = batch[pkt_idx].txTime;
                         b->flowId = batch[pkt_idx].flowId;
                         b->userData = batch[pkt_idx].userData;
+                        b->src = batch[pkt_idx].src;
+                        b->dst = batch[pkt_idx].dst;
                         auto &slot = qp->rx.slot(slot_idx);
                         slot.buf = b;
                         slot.len = b->len;
@@ -961,6 +963,8 @@ CcNic::nicRxTask(int q)
                         b->txTime = batch[pkt_idx].txTime;
                         b->flowId = batch[pkt_idx].flowId;
                         b->userData = batch[pkt_idx].userData;
+                        b->src = batch[pkt_idx].src;
+                        b->dst = batch[pkt_idx].dst;
                         slot.len = b->len;
                         slot.meta = kRxCompleted;
                         slot.ready = true;

@@ -46,6 +46,14 @@ struct WirePacket
     std::uint64_t flowId = 0;
     std::uint64_t userData = 0;
     std::uint8_t segments = 1; ///< Descriptor slots consumed (extbuf).
+
+    /// @name Fabric addressing (src/net). 0 means "unset": the fabric
+    /// stamps src with the sending port's address on ingress, and a
+    /// dst of 0 never matches a forwarding-table entry.
+    /// @{
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    /// @}
 };
 
 /** Full configuration of a CC-NIC instance. */

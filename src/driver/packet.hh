@@ -41,6 +41,8 @@ struct PacketBuf
     sim::Tick txTime = 0;    ///< Timestamp written by the generator.
     std::uint64_t flowId = 0;
     std::uint64_t userData = 0;
+    std::uint32_t src = 0;   ///< Fabric source address (0 = unset).
+    std::uint32_t dst = 0;   ///< Fabric destination address.
     /// @}
 
     /// Second payload segment for zero-copy multi-segment TX (the

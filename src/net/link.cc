@@ -1,0 +1,48 @@
+#include "net/link.hh"
+
+#include <algorithm>
+
+namespace ccn::net {
+
+using sim::Tick;
+
+Link::Link(sim::Simulator &sim, const LinkConfig &cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)), queue_(sim)
+{
+    sim_.spawn(drainTask());
+}
+
+bool
+Link::send(const WirePacket &pkt)
+{
+    if (queue_.size() >= cfg_.queuePackets) {
+        stats_.drops++;
+        stats_.dropBytes += pkt.len;
+        return false;
+    }
+    queue_.put(pkt);
+    stats_.peakQueue = std::max(stats_.peakQueue, queue_.size());
+    return true;
+}
+
+sim::Task
+Link::drainTask()
+{
+    for (;;) {
+        const WirePacket pkt = co_await queue_.get();
+        const Tick exit =
+            sim_.now() + sim::serializationTime(
+                             pkt.len + cfg_.framingBytes,
+                             cfg_.bytesPerSec());
+        co_await sim_.delayUntil(exit);
+        stats_.txPackets++;
+        stats_.txBytes += pkt.len;
+        if (sink_) {
+            sim_.scheduleCallback(exit + cfg_.propDelay, [this, pkt] {
+                sink_(pkt);
+            });
+        }
+    }
+}
+
+} // namespace ccn::net

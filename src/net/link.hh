@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Point-to-point network link model.
+ *
+ * A Link is one direction of a cable: packets enter a bounded egress
+ * queue, serialize onto the wire at the configured bandwidth (FIFO,
+ * one at a time), and arrive at the far end after a fixed propagation
+ * delay. When the egress queue is full, newly offered packets are
+ * tail-dropped — the fabric never blocks a sender, mirroring how a
+ * real switch port sheds load. Serialization and propagation overlap:
+ * multiple packets can be in flight across the propagation delay while
+ * the next one occupies the transmitter.
+ */
+
+#ifndef CCN_NET_LINK_HH
+#define CCN_NET_LINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ccnic/ccnic.hh"
+#include "sim/simulator.hh"
+#include "sim/sync.hh"
+#include "sim/time.hh"
+
+namespace ccn::net {
+
+using ccnic::WirePacket;
+
+/** Link parameters: rate, distance, and egress buffering. */
+struct LinkConfig
+{
+    double gbps = 100.0;                       ///< Line rate.
+    sim::Tick propDelay = sim::fromNs(500.0);  ///< One-way propagation.
+
+    /// Egress queue bound in packets; offers beyond it tail-drop.
+    std::size_t queuePackets = 256;
+
+    /// Per-frame wire overhead (Ethernet preamble + FCS + IFG).
+    std::uint32_t framingBytes = 24;
+
+    double bytesPerSec() const { return sim::gbpsToBytesPerSec(gbps); }
+};
+
+/** Per-link counters. */
+struct LinkStats
+{
+    std::uint64_t txPackets = 0; ///< Packets that finished serializing.
+    std::uint64_t txBytes = 0;   ///< Payload bytes delivered.
+    std::uint64_t drops = 0;     ///< Tail-dropped packets.
+    std::uint64_t dropBytes = 0; ///< Payload bytes tail-dropped.
+    std::size_t peakQueue = 0;   ///< Egress queue high-water mark.
+};
+
+/**
+ * One direction of a modeled cable. The receive end is a callback so
+ * a link can terminate at a switch port, a NIC, or a test probe.
+ */
+class Link
+{
+  public:
+    Link(sim::Simulator &sim, const LinkConfig &cfg,
+         std::string name = "link");
+
+    /** Set the far-end delivery callback. */
+    void
+    setSink(std::function<void(const WirePacket &)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
+    /**
+     * Offer a packet to the egress queue. Returns false (and counts a
+     * drop) when the queue is full; never blocks the caller.
+     */
+    bool send(const WirePacket &pkt);
+
+    const LinkConfig &config() const { return cfg_; }
+    const LinkStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+    std::size_t queueDepth() const { return queue_.size(); }
+
+  private:
+    sim::Task drainTask();
+
+    sim::Simulator &sim_;
+    LinkConfig cfg_;
+    std::string name_;
+    sim::Mailbox<WirePacket> queue_;
+    std::function<void(const WirePacket &)> sink_;
+    LinkStats stats_;
+};
+
+} // namespace ccn::net
+
+#endif // CCN_NET_LINK_HH

@@ -1,0 +1,31 @@
+#include "net/switch.hh"
+
+namespace ccn::net {
+
+void
+Switch::ingress(int in_port, const WirePacket &pkt)
+{
+    if (cfg_.learning && pkt.src != 0)
+        table_.emplace(pkt.src, in_port);
+
+    const auto it = table_.find(pkt.dst);
+    if (it == table_.end()) {
+        stats_.unknownDrops++;
+        return;
+    }
+    if (it->second == in_port) {
+        stats_.reflectDrops++;
+        return;
+    }
+
+    Link *out = ports_[static_cast<std::size_t>(it->second)];
+    stats_.forwarded++;
+    if (cfg_.forwardLat == 0) {
+        out->send(pkt);
+    } else {
+        sim_.scheduleCallback(sim_.now() + cfg_.forwardLat,
+                              [out, pkt] { out->send(pkt); });
+    }
+}
+
+} // namespace ccn::net

@@ -384,7 +384,7 @@ PcieNic::devTxEngine(int q)
                     continue;
                 spans.push_back({b->addr, b->len});
                 WirePacket wp{slot.len, b->txTime, b->flowId,
-                              b->userData, 1};
+                              b->userData, 1, b->src, b->dst};
                 if (b->nextSeg) {
                     spans.push_back({b->nextSeg->addr, b->segLen});
                     wp.segments = 2;
@@ -468,6 +468,8 @@ PcieNic::devRxEngine(int q)
             b->txTime = batch[i].txTime;
             b->flowId = batch[i].flowId;
             b->userData = batch[i].userData;
+            b->src = batch[i].src;
+            b->dst = batch[i].dst;
             slot.len = b->len;
             slot.meta = kRxCompleted;
             slot.ready = true;

@@ -91,6 +91,15 @@ class Table
         os.flush();
     }
 
+    /// @name Raw access (used by the JSON report writer).
+    /// @{
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+    /// @}
+
   private:
     static void
     printRow(std::ostream &os, const std::vector<std::string> &row,

@@ -1,0 +1,165 @@
+#include "workload/clientserver.hh"
+
+#include <memory>
+
+#include "workload/dists.hh"
+
+namespace ccn::workload {
+
+using driver::PacketBuf;
+using sim::Tick;
+
+namespace {
+
+constexpr int kRxBurst = 32;
+
+/** Client-side shared accounting. */
+struct ClientState
+{
+    ClientState(const ClientServerConfig &cfg)
+        : zipf(cfg.kv.numObjects, cfg.kv.zipf)
+    {}
+
+    ZipfSampler zipf;
+    Tick measureStart = 0;
+    Tick measureEnd = 0;
+    Tick runUntil = 0;
+
+    std::uint64_t sent = 0;
+    std::uint64_t backpressure = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t respBytes = 0;
+    stats::Histogram rttTicks;
+};
+
+/** Open-loop request generator on client queue @p q. */
+sim::Task
+clientTxTask(sim::Simulator &sim, mem::CoherentSystem &m,
+             driver::NicInterface &nic, int q, double rate,
+             std::uint32_t server_addr, const ClientServerConfig cfg,
+             std::shared_ptr<ClientState> st, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    const mem::AgentId agent = nic.hostAgent(q);
+    Tick next = sim.now();
+    // Distinct flowId streams per queue so RSS spreads them.
+    std::uint64_t n = static_cast<std::uint64_t>(q) << 40;
+
+    while (sim.now() < st->measureEnd) {
+        next += static_cast<Tick>(
+            rng.exponential(static_cast<double>(sim::kSecond) / rate));
+        if (next > sim.now())
+            co_await sim.delayUntil(next);
+        if (sim.now() >= st->measureEnd)
+            break;
+
+        PacketBuf *buf = nullptr;
+        const int got =
+            co_await nic.allocBufs(q, cfg.requestBytes, &buf, 1);
+        if (got != 1) {
+            st->backpressure++;
+            continue;
+        }
+        const std::uint64_t key = st->zipf.sample(rng);
+        const bool get = rng.uniform() < cfg.kv.getFraction;
+        buf->len = cfg.requestBytes;
+        buf->txTime = sim.now();
+        buf->flowId = ++n;
+        buf->userData = key | (get ? 0ULL : (1ULL << 63));
+        buf->dst = server_addr;
+        buf->src = 0;
+
+        // Write the request payload before submitting.
+        std::vector<mem::CoherentSystem::Span> span{
+            {buf->addr, buf->len}};
+        co_await m.postMulti(agent, span, nullptr);
+
+        const int tx = co_await nic.txBurst(q, &buf, 1);
+        if (tx != 1) {
+            st->backpressure++;
+            co_await nic.freeBufs(q, &buf, 1);
+            continue;
+        }
+        st->sent++;
+    }
+    co_return;
+}
+
+/** Response receiver on client queue @p q. */
+sim::Task
+clientRxTask(sim::Simulator &sim, mem::CoherentSystem &m,
+             driver::NicInterface &nic, int q,
+             std::shared_ptr<ClientState> st)
+{
+    const mem::AgentId agent = nic.hostAgent(q);
+    PacketBuf *bufs[kRxBurst];
+
+    while (sim.now() < st->runUntil) {
+        const int nr = co_await nic.rxBurst(q, bufs, kRxBurst);
+        if (nr == 0) {
+            co_await nic.idleWait(q, st->runUntil);
+            continue;
+        }
+        std::vector<mem::CoherentSystem::Span> spans;
+        for (int i = 0; i < nr; ++i)
+            spans.push_back({bufs[i]->addr, bufs[i]->len});
+        co_await m.accessMulti(agent, spans, false);
+
+        const Tick now = sim.now();
+        for (int i = 0; i < nr; ++i) {
+            if (now >= st->measureStart && now < st->measureEnd) {
+                st->responses++;
+                st->respBytes += bufs[i]->len;
+                st->rttTicks.record(now - bufs[i]->txTime);
+            }
+        }
+        co_await nic.freeBufs(q, bufs, nr);
+    }
+    co_return;
+}
+
+} // namespace
+
+ClientServerResult
+runKvClientServer(sim::Simulator &sim, mem::CoherentSystem &server_mem,
+                  driver::NicInterface &server_nic,
+                  mem::CoherentSystem &client_mem,
+                  driver::NicInterface &client_nic,
+                  std::uint32_t server_addr,
+                  const ClientServerConfig &cfg)
+{
+    auto st = std::make_shared<ClientState>(cfg);
+    st->measureStart = sim.now() + cfg.warmup;
+    st->measureEnd = st->measureStart + cfg.window;
+    st->runUntil = st->measureEnd + cfg.drain;
+
+    sim::Rng server_rng(cfg.seed);
+    apps::KvServer server(server_mem, cfg.kv, server_rng);
+    server.start(sim, server_mem, server_nic, st->runUntil);
+
+    const int queues = cfg.clientQueues;
+    for (int q = 0; q < queues; ++q) {
+        sim.spawn(clientTxTask(sim, client_mem, client_nic, q,
+                               cfg.offeredOps / queues, server_addr,
+                               cfg, st, cfg.seed * 131 + q));
+        sim.spawn(clientRxTask(sim, client_mem, client_nic, q, st));
+    }
+    sim.run(st->runUntil + sim::fromUs(5.0));
+
+    ClientServerResult r;
+    r.requestsSent = st->sent;
+    r.txBackpressure = st->backpressure;
+    r.responses = st->responses;
+    r.offeredMops = cfg.offeredOps / 1e6;
+    r.achievedMops = static_cast<double>(st->responses) /
+                     sim::toSeconds(cfg.window) / 1e6;
+    r.gbpsIn = static_cast<double>(st->respBytes) * 8.0 /
+               sim::toSeconds(cfg.window) / 1e9;
+    r.rttMinNs = sim::toNs(st->rttTicks.min());
+    r.rttP50Ns = sim::toNs(st->rttTicks.percentile(50.0));
+    r.rttP95Ns = sim::toNs(st->rttTicks.percentile(95.0));
+    r.rttP99Ns = sim::toNs(st->rttTicks.percentile(99.0));
+    return r;
+}
+
+} // namespace ccn::workload

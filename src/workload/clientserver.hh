@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Two-host client-server measurement harness over the network fabric.
+ *
+ * The KV store server (apps/kvstore) runs on one host's NIC; an
+ * open-loop client runs on a second host's NIC. Both hosts are real
+ * simulated machines — each with its own CoherentSystem and NIC
+ * instance — attached to a shared net::Fabric, so every request and
+ * response crosses modeled links and the switch. The client drives
+ * Poisson request arrivals through its own driver TX path, receives
+ * responses on its RX path, and measures request throughput and RTT
+ * percentiles end to end (client TX burst to client RX burst).
+ */
+
+#ifndef CCN_WORKLOAD_CLIENTSERVER_HH
+#define CCN_WORKLOAD_CLIENTSERVER_HH
+
+#include <cstdint>
+
+#include "apps/kvstore.hh"
+#include "driver/nic_iface.hh"
+#include "mem/coherence.hh"
+#include "net/fabric.hh"
+#include "sim/time.hh"
+#include "stats/histogram.hh"
+
+namespace ccn::workload {
+
+/** Client-server run configuration. */
+struct ClientServerConfig
+{
+    apps::KvConfig kv;           ///< Server application config.
+    double offeredOps = 2e6;     ///< Client open-loop request rate.
+    std::uint32_t requestBytes = 64;
+    int clientQueues = 1;        ///< Client NIC queues used.
+    sim::Tick warmup = sim::fromUs(50.0);
+    sim::Tick window = sim::fromUs(300.0);
+    sim::Tick drain = sim::fromUs(30.0); ///< Post-window settle time.
+    std::uint64_t seed = 42;
+};
+
+/** Result of one client-server measurement. */
+struct ClientServerResult
+{
+    std::uint64_t requestsSent = 0;    ///< Accepted by client TX.
+    std::uint64_t txBackpressure = 0;  ///< Rejected by client TX ring.
+    std::uint64_t responses = 0;       ///< Received within the window.
+    double offeredMops = 0;
+    double achievedMops = 0;           ///< Responses per second.
+    double gbpsIn = 0;                 ///< Response bytes at client.
+    double rttMinNs = 0;
+    double rttP50Ns = 0;
+    double rttP95Ns = 0;
+    double rttP99Ns = 0;
+};
+
+/**
+ * Run the KV server on @p server_nic (host memory @p server_mem) and
+ * an open-loop client on @p client_nic (host memory @p client_mem),
+ * both already attached to a fabric, with the server reachable at
+ * fabric address @p server_addr. Spawns all processes and runs the
+ * simulation to completion.
+ *
+ * Both NICs must be started and configured with loopback disabled,
+ * and their fabric attachments must already be in place (the harness
+ * does not touch TX sinks).
+ */
+ClientServerResult runKvClientServer(
+    sim::Simulator &sim, mem::CoherentSystem &server_mem,
+    driver::NicInterface &server_nic, mem::CoherentSystem &client_mem,
+    driver::NicInterface &client_nic, std::uint32_t server_addr,
+    const ClientServerConfig &cfg);
+
+} // namespace ccn::workload
+
+#endif // CCN_WORKLOAD_CLIENTSERVER_HH
