@@ -155,6 +155,52 @@ serverThread(sim::Simulator &sim, mem::CoherentSystem &m,
     co_return;
 }
 
+/** One serving process per accepted transport connection. */
+sim::Task
+serveConnTask(sim::Simulator &sim, mem::CoherentSystem &m,
+              transport::Endpoint &ep, transport::Connection *conn,
+              const KvConfig cfg, std::shared_ptr<KvServer::State> st)
+{
+    const mem::AgentId agent = ep.nic().hostAgent(conn->queue());
+
+    while (sim.now() < st->runUntil &&
+           conn->state() != transport::Connection::State::Error) {
+        transport::Segment req;
+        if (!co_await conn->recv(&req, st->runUntil))
+            continue; // Timed out or errored; loop re-checks.
+
+        // Parse + index walk (request payload was already charged by
+        // the transport's receive pump).
+        co_await sim.delay(
+            m.config().cycles(cfg.parseCycles + cfg.indexCycles));
+        const std::uint64_t key =
+            req.userData & 0x7fffffffffffffffULL;
+        const bool is_get = (req.userData >> 63) == 0;
+        const std::uint64_t bucket =
+            (key * 0x9e3779b97f4a7c15ULL) & st->indexMask;
+        std::vector<mem::CoherentSystem::Span> idx{
+            {st->indexBase + bucket * 8, 8}};
+        co_await m.accessMulti(agent, idx, false);
+
+        const std::uint64_t k = key % st->objAddr.size();
+        std::uint32_t resp_len = cfg.headerBytes;
+        if (is_get) {
+            resp_len += st->objLen[k];
+        } else {
+            std::vector<mem::CoherentSystem::Span> obj{
+                {st->objAddr[k], st->objLen[k]}};
+            co_await m.postMulti(agent, obj, nullptr);
+        }
+        // Echo userData and the request's original stamp so the
+        // client measures end-to-end RTT across retransmissions.
+        if (co_await conn->send(resp_len, req.userData, req.txTime)) {
+            st->served++;
+            st->servedBytes += resp_len;
+        }
+    }
+    co_return;
+}
+
 /** Client generator injecting requests through the inbound wire. */
 sim::Task
 clientGen(sim::Simulator &sim, driver::NicInterface &nic,
@@ -208,6 +254,19 @@ KvServer::start(sim::Simulator &sim, mem::CoherentSystem &m,
                          std::vector<PacketBuf>(2048));
     for (int q = 0; q < cfg_.serverThreads; ++q)
         sim.spawn(serverThread(sim, m, nic, cfg_, q, st_));
+}
+
+void
+KvServer::startOverTransport(sim::Simulator &sim,
+                             mem::CoherentSystem &m,
+                             transport::Endpoint &ep, Tick run_until)
+{
+    st_->runUntil = run_until;
+    auto st = st_;
+    const KvConfig cfg = cfg_;
+    ep.onAccept([&sim, &m, &ep, cfg, st](transport::Connection *c) {
+        sim.spawn(serveConnTask(sim, m, ep, c, cfg, st));
+    });
 }
 
 KvResult

@@ -21,6 +21,7 @@
 #include "driver/nic_iface.hh"
 #include "mem/coherence.hh"
 #include "sim/random.hh"
+#include "transport/transport.hh"
 #include "workload/dists.hh"
 
 namespace ccn::apps {
@@ -96,6 +97,21 @@ class KvServer
      */
     void start(sim::Simulator &sim, mem::CoherentSystem &m,
                driver::NicInterface &nic, sim::Tick run_until);
+
+    /**
+     * Serve GET/SET RPCs over the reliable transport instead of raw
+     * bursts: every accepted connection gets a serving process that
+     * loops recv → parse → index lookup → object access → send. The
+     * response echoes the request's userData and original txTime (for
+     * end-to-end RTT at the client); a GET response carries
+     * headerBytes + object size, a SET response just the header.
+     * Install before the endpoint sees its first SYN; @p ep must
+     * outlive the run.
+     */
+    void startOverTransport(sim::Simulator &sim,
+                            mem::CoherentSystem &m,
+                            transport::Endpoint &ep,
+                            sim::Tick run_until);
 
     struct State;
     State &state() { return *st_; }

@@ -41,6 +41,37 @@ sizePool(CcNicConfig &cfg)
 
 } // namespace
 
+std::uint32_t
+wireFcs(const WirePacket &pkt)
+{
+    // CRC-32C (Castagnoli), bitwise, over the logical field words.
+    const std::uint64_t words[] = {
+        pkt.len,
+        pkt.flowId,
+        pkt.userData,
+        static_cast<std::uint64_t>(pkt.segments) |
+            (static_cast<std::uint64_t>(pkt.dst) << 8),
+        static_cast<std::uint64_t>(pkt.tp.srcConn) |
+            (static_cast<std::uint64_t>(pkt.tp.dstConn) << 32),
+        static_cast<std::uint64_t>(pkt.tp.seq) |
+            (static_cast<std::uint64_t>(pkt.tp.ack) << 32),
+        pkt.tp.sack,
+        static_cast<std::uint64_t>(pkt.tp.credits) |
+            (static_cast<std::uint64_t>(pkt.tp.flags) << 16),
+    };
+    std::uint32_t crc = ~0u;
+    for (const std::uint64_t w : words) {
+        for (int b = 0; b < 8; ++b) {
+            crc ^= static_cast<std::uint8_t>(w >> (b * 8));
+            for (int k = 0; k < 8; ++k)
+                crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1) + 1));
+        }
+    }
+    crc = ~crc;
+    // Reserve 0 as the "unstamped" sentinel.
+    return crc ? crc : 1u;
+}
+
 CcNicConfig
 optimizedConfig(int num_queues, int host_socket)
 {
@@ -186,22 +217,29 @@ void
 CcNic::deliverTx(int q, const WirePacket &pkt)
 {
     txCount_++;
+    // TX checksum offload: every packet leaves with a valid FCS.
+    WirePacket out = pkt;
+    out.fcs = wireFcs(out);
     if (!cfg_.loopback && txSink_) {
-        txSink_(q, pkt);
+        txSink_(q, out);
         return;
     }
     if (cfg_.wireLat == 0) {
-        queues_[q]->rxInput.put(pkt);
+        queues_[q]->rxInput.put(out);
     } else {
         Queue *queue = queues_[q].get();
         sim_.scheduleCallback(sim_.now() + cfg_.wireLat,
-                              [queue, pkt] { queue->rxInput.put(pkt); });
+                              [queue, out] { queue->rxInput.put(out); });
     }
 }
 
 void
 CcNic::injectRx(int q, const WirePacket &pkt)
 {
+    if (!fcsOk(pkt)) {
+        rxCrcDrops_++;
+        return;
+    }
     queues_[q]->rxInput.put(pkt);
 }
 
@@ -213,6 +251,9 @@ CcNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs, int count)
         cycles(cfg_.hostCosts.perAllocFree * std::max(1, count / 8)));
     int got = co_await pool_->allocBurst(queue.hostAgent, size, bufs,
                                          count, q);
+    // Recycled buffers must not leak a previous transport header.
+    for (int i = 0; i < got; ++i)
+        bufs[i]->tp = {};
     co_return got;
 }
 
@@ -742,6 +783,7 @@ CcNic::nicTxTask(int q)
                 continue;
             WirePacket pkt{t.len, t.buf->txTime, t.buf->flowId,
                            t.buf->userData, 1, t.buf->src, t.buf->dst};
+            pkt.tp = t.buf->tp;
             if (t.buf->nextSeg)
                 pkt.segments = 2;
             deliverTx(q, pkt);
@@ -895,6 +937,7 @@ CcNic::nicRxTask(int q)
                         b->userData = batch[pkt_idx].userData;
                         b->src = batch[pkt_idx].src;
                         b->dst = batch[pkt_idx].dst;
+                        b->tp = batch[pkt_idx].tp;
                         auto &slot = qp->rx.slot(slot_idx);
                         slot.buf = b;
                         slot.len = b->len;
@@ -965,6 +1008,7 @@ CcNic::nicRxTask(int q)
                         b->userData = batch[pkt_idx].userData;
                         b->src = batch[pkt_idx].src;
                         b->dst = batch[pkt_idx].dst;
+                        b->tp = batch[pkt_idx].tp;
                         slot.len = b->len;
                         slot.meta = kRxCompleted;
                         slot.ready = true;

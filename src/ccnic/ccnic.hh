@@ -54,7 +54,28 @@ struct WirePacket
     std::uint32_t src = 0;
     std::uint32_t dst = 0;
     /// @}
+
+    /// Reliable-transport header (all-zero for raw traffic).
+    driver::TransportHeader tp;
+
+    /// Frame check sequence stamped by the NIC TX engine; 0 means
+    /// "unstamped" (packets injected directly by tests/harnesses).
+    std::uint32_t fcs = 0;
 };
+
+/**
+ * CRC-32C over the packet's logical contents. Fabric addressing is
+ * excluded from the covered fields because the source address is
+ * stamped by the fabric port after the NIC computes the FCS.
+ */
+std::uint32_t wireFcs(const WirePacket &pkt);
+
+/** Verify the FCS; unstamped packets (fcs == 0) always pass. */
+inline bool
+fcsOk(const WirePacket &pkt)
+{
+    return pkt.fcs == 0 || pkt.fcs == wireFcs(pkt);
+}
 
 /** Full configuration of a CC-NIC instance. */
 struct CcNicConfig
@@ -168,6 +189,9 @@ class CcNic : public driver::NicInterface
     /** Packets that have crossed TX processing (for reports). */
     std::uint64_t txCount() const { return txCount_; }
 
+    /** RX packets discarded on FCS mismatch (corrupted on the wire). */
+    std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
+
   private:
     struct Queue
     {
@@ -231,6 +255,7 @@ class CcNic : public driver::NicInterface
     std::vector<std::unique_ptr<Queue>> queues_;
     std::function<void(int, const WirePacket &)> txSink_;
     std::uint64_t txCount_ = 0;
+    std::uint64_t rxCrcDrops_ = 0;
     bool started_ = false;
 };
 

@@ -27,6 +27,38 @@ enum class BufClass : std::uint8_t
     Large, ///< MTU-sized buffer (4KB).
 };
 
+/// @name Reliable transport header (src/transport).
+/// @{
+
+/** Transport packet type flags. */
+enum TpFlags : std::uint16_t
+{
+    kTpSyn = 1u << 0,    ///< Connection request.
+    kTpSynAck = 1u << 1, ///< Connection accept.
+    kTpData = 1u << 2,   ///< Carries one application segment.
+    kTpAck = 1u << 3,    ///< ack/sack/credits fields are valid.
+    kTpRst = 1u << 4,    ///< Peer aborted the connection.
+};
+
+/**
+ * Reliable-transport header carried in packet metadata, end to end
+ * (stamped into the PacketBuf by the sender, copied onto the
+ * WirePacket by the NIC TX engine, and restored into the receive
+ * buffer by the NIC RX engine). All-zero means "not transport
+ * traffic": raw fabric users never populate it.
+ */
+struct TransportHeader
+{
+    std::uint32_t srcConn = 0; ///< Sender-side connection id (1-based).
+    std::uint32_t dstConn = 0; ///< Receiver-side id (0 until SYN-ACK).
+    std::uint32_t seq = 0;     ///< Data segment sequence number.
+    std::uint32_t ack = 0;     ///< Cumulative: next expected seq.
+    std::uint64_t sack = 0;    ///< Bitmap of seqs in (ack, ack+64].
+    std::uint16_t credits = 0; ///< Receive buffer grant beyond ack.
+    std::uint16_t flags = 0;   ///< TpFlags combination.
+};
+/// @}
+
 /** One packet buffer: simulated placement plus logical payload. */
 struct PacketBuf
 {
@@ -43,6 +75,7 @@ struct PacketBuf
     std::uint64_t userData = 0;
     std::uint32_t src = 0;   ///< Fabric source address (0 = unset).
     std::uint32_t dst = 0;   ///< Fabric destination address.
+    TransportHeader tp;      ///< Reliable-transport header (optional).
     /// @}
 
     /// Second payload segment for zero-copy multi-segment TX (the

@@ -59,14 +59,33 @@ PortCounters
 Fabric::counters(std::uint32_t addr) const
 {
     const Port &p = portFor(addr);
+    const LinkStats &up = p.up->stats();
+    const LinkStats &down = p.down->stats();
     PortCounters c;
-    c.txPackets = p.up->stats().txPackets;
-    c.txBytes = p.up->stats().txBytes;
-    c.txDrops = p.up->stats().drops;
+    c.txPackets = up.txPackets;
+    c.txBytes = up.txBytes;
+    c.txDrops = up.drops;
     c.rxPackets = p.rxPackets;
     c.rxBytes = p.rxBytes;
-    c.rxDrops = p.down->stats().drops;
+    c.rxDrops = down.drops;
+    c.faultDrops = up.faultDrops + down.faultDrops;
+    c.downDrops = up.downDrops + down.downDrops;
+    c.dups = up.dups + down.dups;
+    c.reorders = up.reorders + down.reorders;
+    c.corrupts = up.corrupts + down.corrupts;
     return c;
+}
+
+Link &
+Fabric::uplinkOf(std::uint32_t addr)
+{
+    return *ports_[addr - 1]->up;
+}
+
+Link &
+Fabric::downlinkOf(std::uint32_t addr)
+{
+    return *ports_[addr - 1]->down;
 }
 
 const std::string &
@@ -94,7 +113,14 @@ Fabric::report(std::ostream &os) const
            << " tx " << c.txPackets << " pkts / " << c.txBytes
            << " B (drops " << c.txDrops << ")"
            << "  rx " << c.rxPackets << " pkts / " << c.rxBytes
-           << " B (drops " << c.rxDrops << ")\n";
+           << " B (drops " << c.rxDrops << ")";
+        if (c.faultDrops || c.downDrops || c.dups || c.reorders ||
+            c.corrupts) {
+            os << "  faults: lost " << c.faultDrops << ", dark "
+               << c.downDrops << ", dup " << c.dups << ", reord "
+               << c.reorders << ", corrupt " << c.corrupts;
+        }
+        os << "\n";
     }
     const SwitchStats &s = switch_.stats();
     os << "  switch: forwarded " << s.forwarded << ", unknown-dst drops "

@@ -84,6 +84,22 @@ struct PortCounters
     std::uint64_t rxBytes = 0;
     std::uint64_t txDrops = 0;   ///< Tail-dropped at the uplink queue.
     std::uint64_t rxDrops = 0;   ///< Tail-dropped at the downlink queue.
+
+    /// @name Fault-injection losses, both directions combined.
+    /// @{
+    std::uint64_t faultDrops = 0; ///< Random/forced packet loss.
+    std::uint64_t downDrops = 0;  ///< Lost while a link was dark.
+    std::uint64_t dups = 0;       ///< Duplicates injected.
+    std::uint64_t reorders = 0;   ///< Packets reordered.
+    std::uint64_t corrupts = 0;   ///< Payloads corrupted.
+    /// @}
+
+    /** Every packet lost in the fabric on this port's links. */
+    std::uint64_t
+    totalDrops() const
+    {
+        return txDrops + rxDrops + faultDrops + downDrops;
+    }
 };
 
 /** Switched multi-host topology builder. */
@@ -112,6 +128,12 @@ class Fabric
 
     /** Counters for the port with fabric address @p addr. */
     PortCounters counters(std::uint32_t addr) const;
+
+    /// @name Direct link access (fault forcing, flap control).
+    /// @{
+    Link &uplinkOf(std::uint32_t addr);
+    Link &downlinkOf(std::uint32_t addr);
+    /// @}
 
     /** Port name (for reports). */
     const std::string &portName(std::uint32_t addr) const;

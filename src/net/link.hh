@@ -10,6 +10,17 @@
  * real switch port sheds load. Serialization and propagation overlap:
  * multiple packets can be in flight across the propagation delay while
  * the next one occupies the transmitter.
+ *
+ * Fault injection: a link can be configured with seeded random drop,
+ * duplication, reordering, and payload corruption, plus periodic
+ * up/down flapping, so transport recovery paths can be exercised
+ * deterministically. Reordering is modeled as swap-ahead: a selected
+ * packet is held at the receive end until the next packet overtakes it
+ * (or a hold timeout flushes it). Corruption flips a payload bit
+ * without fixing the frame check sequence, so a receiver that verifies
+ * the FCS (ccnic::fcsOk) sees a CRC error, not wrong data. Tests can
+ * also force the next N packets to be dropped / corrupted / reordered
+ * exactly, independent of the random profile.
  */
 
 #ifndef CCN_NET_LINK_HH
@@ -17,16 +28,46 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "ccnic/ccnic.hh"
+#include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
-#include "sim/time.hh"
 
 namespace ccn::net {
 
 using ccnic::WirePacket;
+
+/** Fault-injection profile for one link direction. */
+struct FaultProfile
+{
+    double dropRate = 0.0;    ///< P(packet silently lost).
+    double dupRate = 0.0;     ///< P(packet delivered twice).
+    double reorderRate = 0.0; ///< P(packet held for swap-ahead).
+    double corruptRate = 0.0; ///< P(payload bit flip, FCS stale).
+    std::uint64_t seed = 1;   ///< Per-link fault RNG seed.
+
+    /// Held (reordered) packets flush after this even if nothing
+    /// overtakes them, so a tail packet is delayed, not lost.
+    sim::Tick reorderHold = sim::fromUs(2.0);
+
+    /// @name Link flapping. With both nonzero the link cycles
+    /// upTime carrier / downTime dark; packets arriving while dark
+    /// are lost (counted as downDrops).
+    /// @{
+    sim::Tick upTime = 0;
+    sim::Tick downTime = 0;
+    /// @}
+
+    bool
+    any() const
+    {
+        return dropRate > 0 || dupRate > 0 || reorderRate > 0 ||
+               corruptRate > 0 || (upTime > 0 && downTime > 0);
+    }
+};
 
 /** Link parameters: rate, distance, and egress buffering. */
 struct LinkConfig
@@ -40,6 +81,8 @@ struct LinkConfig
     /// Per-frame wire overhead (Ethernet preamble + FCS + IFG).
     std::uint32_t framingBytes = 24;
 
+    FaultProfile faults; ///< Fault injection (default: none).
+
     double bytesPerSec() const { return sim::gbpsToBytesPerSec(gbps); }
 };
 
@@ -51,6 +94,15 @@ struct LinkStats
     std::uint64_t drops = 0;     ///< Tail-dropped packets.
     std::uint64_t dropBytes = 0; ///< Payload bytes tail-dropped.
     std::size_t peakQueue = 0;   ///< Egress queue high-water mark.
+
+    /// @name Fault-injection counters.
+    /// @{
+    std::uint64_t faultDrops = 0; ///< Randomly / forcibly lost.
+    std::uint64_t downDrops = 0;  ///< Lost while the link was dark.
+    std::uint64_t dups = 0;       ///< Duplicates injected.
+    std::uint64_t reorders = 0;   ///< Packets held for swap-ahead.
+    std::uint64_t corrupts = 0;   ///< Payload corruptions injected.
+    /// @}
 };
 
 /**
@@ -72,9 +124,25 @@ class Link
 
     /**
      * Offer a packet to the egress queue. Returns false (and counts a
-     * drop) when the queue is full; never blocks the caller.
+     * drop) when the queue is full or the link is dark; never blocks
+     * the caller.
      */
     bool send(const WirePacket &pkt);
+
+    /// @name Deterministic fault forcing (tests / chaos harnesses).
+    /// The next @p n packets reaching the receive end suffer the
+    /// fault, ahead of any random profile.
+    /// @{
+    void forceDrop(std::uint64_t n) { forceDrop_ += n; }
+    void forceCorrupt(std::uint64_t n) { forceCorrupt_ += n; }
+    void forceReorder(std::uint64_t n) { forceReorder_ += n; }
+    /// @}
+
+    /** Carrier state (false while flapped dark). */
+    bool up() const { return up_; }
+
+    /** Force carrier state (overrides flapping until the next cycle). */
+    void setUp(bool up) { up_ = up; }
 
     const LinkConfig &config() const { return cfg_; }
     const LinkStats &stats() const { return stats_; }
@@ -83,6 +151,11 @@ class Link
 
   private:
     sim::Task drainTask();
+    sim::Task flapTask();
+
+    /** Fault pipeline at the receive end. */
+    void arrive(WirePacket pkt);
+    void deliver(const WirePacket &pkt);
 
     sim::Simulator &sim_;
     LinkConfig cfg_;
@@ -90,6 +163,14 @@ class Link
     sim::Mailbox<WirePacket> queue_;
     std::function<void(const WirePacket &)> sink_;
     LinkStats stats_;
+
+    sim::Rng faultRng_;
+    bool up_ = true;
+    std::uint64_t forceDrop_ = 0;
+    std::uint64_t forceCorrupt_ = 0;
+    std::uint64_t forceReorder_ = 0;
+    std::optional<WirePacket> held_; ///< Swap-ahead reorder slot.
+    std::uint64_t heldGen_ = 0;      ///< Guards stale hold flushes.
 };
 
 } // namespace ccn::net

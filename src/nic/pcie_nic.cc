@@ -140,16 +140,23 @@ PcieNic::hostAgent(int q) const
 void
 PcieNic::deliverTx(int q, const WirePacket &pkt)
 {
+    // TX checksum offload: every packet leaves with a valid FCS.
+    WirePacket out = pkt;
+    out.fcs = ccnic::wireFcs(out);
     if (!loopback_ && txSink_) {
-        txSink_(q, pkt);
+        txSink_(q, out);
         return;
     }
-    queues_[q]->rxInput.put(pkt);
+    queues_[q]->rxInput.put(out);
 }
 
 void
 PcieNic::injectRx(int q, const WirePacket &pkt)
 {
+    if (!ccnic::fcsOk(pkt)) {
+        rxCrcDrops_++;
+        return;
+    }
     queues_[q]->rxInput.put(pkt);
 }
 
@@ -163,6 +170,9 @@ PcieNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs,
         costs_.perAllocFree * std::max(1, count / 8)));
     int got = co_await pool_->allocBurst(queue.hostAgent, 2048, bufs,
                                          count, q);
+    // Recycled buffers must not leak a previous transport header.
+    for (int i = 0; i < got; ++i)
+        bufs[i]->tp = {};
     co_return got;
 }
 
@@ -385,6 +395,7 @@ PcieNic::devTxEngine(int q)
                 spans.push_back({b->addr, b->len});
                 WirePacket wp{slot.len, b->txTime, b->flowId,
                               b->userData, 1, b->src, b->dst};
+                wp.tp = b->tp;
                 if (b->nextSeg) {
                     spans.push_back({b->nextSeg->addr, b->segLen});
                     wp.segments = 2;
@@ -470,6 +481,7 @@ PcieNic::devRxEngine(int q)
             b->userData = batch[i].userData;
             b->src = batch[i].src;
             b->dst = batch[i].dst;
+            b->tp = batch[i].tp;
             slot.len = b->len;
             slot.meta = kRxCompleted;
             slot.ready = true;

@@ -113,6 +113,9 @@ class PcieNic : public driver::NicInterface
 
     const NicParams &params() const { return params_; }
 
+    /** RX packets discarded on FCS mismatch (corrupted on the wire). */
+    std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
+
   private:
     struct Queue
     {
@@ -166,6 +169,7 @@ class PcieNic : public driver::NicInterface
     std::vector<std::unique_ptr<Queue>> queues_;
     std::function<void(int, const WirePacket &)> txSink_;
     bool loopback_ = true;
+    std::uint64_t rxCrcDrops_ = 0;
     bool started_ = false;
 };
 

@@ -35,10 +35,12 @@ class Histogram
         max_ = std::max(max_, value);
     }
 
-    /** Record a value @p n times. */
+    /** Record a value @p n times. A zero count records nothing. */
     void
     recordN(std::uint64_t value, std::uint64_t n)
     {
+        if (n == 0)
+            return; // Must not disturb min/max with a phantom value.
         counts_[bucketIndex(value)] += n;
         total_ += n;
         sum_ += value * n;

@@ -118,6 +118,85 @@ clientRxTask(sim::Simulator &sim, mem::CoherentSystem &m,
     co_return;
 }
 
+/** Shared accounting for the reliable-transport client. */
+struct ReliableState
+{
+    explicit ReliableState(const ClientServerConfig &cfg)
+        : zipf(cfg.kv.numObjects, cfg.kv.zipf)
+    {}
+
+    ZipfSampler zipf;
+    Tick measureStart = 0;
+    Tick measureEnd = 0;
+    Tick runUntil = 0;
+
+    std::uint64_t sent = 0;
+    std::uint64_t responses = 0;       ///< Whole run.
+    std::uint64_t windowResponses = 0; ///< Within the window.
+    std::uint64_t respBytes = 0;       ///< Within the window.
+    stats::Histogram rttTicks;
+};
+
+/** Response receiver for one reliable connection. */
+sim::Task
+reliableRxTask(sim::Simulator &sim, transport::Connection *conn,
+               std::shared_ptr<ReliableState> st)
+{
+    while (sim.now() < st->runUntil) {
+        transport::Segment seg;
+        if (!co_await conn->recv(&seg, st->runUntil)) {
+            if (conn->state() ==
+                transport::Connection::State::Error)
+                break;
+            continue; // Deadline; loop condition ends the task.
+        }
+        st->responses++;
+        const Tick now = sim.now();
+        if (now >= st->measureStart && now < st->measureEnd) {
+            st->windowResponses++;
+            st->respBytes += seg.len;
+            st->rttTicks.record(now - seg.txTime);
+        }
+    }
+    co_return;
+}
+
+/** Connect, then generate open-loop requests on one connection. */
+sim::Task
+reliableClientTask(sim::Simulator &sim, transport::Endpoint &ep,
+                   std::uint32_t server_addr, int idx, double rate,
+                   const ClientServerConfig cfg,
+                   std::shared_ptr<ReliableState> st,
+                   std::uint64_t seed)
+{
+    // Distinct flowIds so RSS spreads connections across queues.
+    transport::Connection *conn = co_await ep.connect(
+        server_addr, 0x5eedULL + static_cast<std::uint64_t>(idx));
+    if (conn->state() != transport::Connection::State::Open)
+        co_return;
+    sim.spawn(reliableRxTask(sim, conn, st));
+
+    sim::Rng rng(seed);
+    Tick next = sim.now();
+    while (sim.now() < st->measureEnd) {
+        next += static_cast<Tick>(rng.exponential(
+            static_cast<double>(sim::kSecond) / rate));
+        if (next > sim.now())
+            co_await sim.delayUntil(next);
+        if (sim.now() >= st->measureEnd)
+            break;
+
+        const std::uint64_t key = st->zipf.sample(rng);
+        const bool get = rng.uniform() < cfg.kv.getFraction;
+        const std::uint64_t user_data =
+            key | (get ? 0ULL : (1ULL << 63));
+        if (!co_await conn->send(cfg.requestBytes, user_data, 0))
+            break; // Connection errored out.
+        st->sent++;
+    }
+    co_return;
+}
+
 } // namespace
 
 ClientServerResult
@@ -152,6 +231,71 @@ runKvClientServer(sim::Simulator &sim, mem::CoherentSystem &server_mem,
     r.responses = st->responses;
     r.offeredMops = cfg.offeredOps / 1e6;
     r.achievedMops = static_cast<double>(st->responses) /
+                     sim::toSeconds(cfg.window) / 1e6;
+    r.gbpsIn = static_cast<double>(st->respBytes) * 8.0 /
+               sim::toSeconds(cfg.window) / 1e9;
+    r.rttMinNs = sim::toNs(st->rttTicks.min());
+    r.rttP50Ns = sim::toNs(st->rttTicks.percentile(50.0));
+    r.rttP95Ns = sim::toNs(st->rttTicks.percentile(95.0));
+    r.rttP99Ns = sim::toNs(st->rttTicks.percentile(99.0));
+    return r;
+}
+
+ReliableClientServerResult
+runKvClientServerReliable(sim::Simulator &sim,
+                          mem::CoherentSystem &server_mem,
+                          driver::NicInterface &server_nic,
+                          mem::CoherentSystem &client_mem,
+                          driver::NicInterface &client_nic,
+                          std::uint32_t server_addr,
+                          const ClientServerConfig &cfg)
+{
+    auto st = std::make_shared<ReliableState>(cfg);
+    st->measureStart = sim.now() + cfg.warmup;
+    st->measureEnd = st->measureStart + cfg.window;
+    st->runUntil = st->measureEnd + cfg.drain;
+
+    transport::Endpoint server_ep(sim, server_mem, server_nic,
+                                  cfg.tp, "server");
+    transport::Endpoint client_ep(sim, client_mem, client_nic,
+                                  cfg.tp, "client");
+
+    sim::Rng server_rng(cfg.seed);
+    apps::KvServer server(server_mem, cfg.kv, server_rng);
+    server.startOverTransport(sim, server_mem, server_ep,
+                              st->runUntil);
+    server_ep.start(st->runUntil);
+    client_ep.start(st->runUntil);
+
+    const int queues = cfg.clientQueues;
+    for (int q = 0; q < queues; ++q) {
+        sim.spawn(reliableClientTask(sim, client_ep, server_addr, q,
+                                     cfg.offeredOps / queues, cfg, st,
+                                     cfg.seed * 131 + q));
+    }
+
+    sim.run(st->measureEnd);
+    // Drain in slices until every accepted request is answered (or
+    // the drain budget runs out, which counts the rest as lost).
+    while (st->responses < st->sent && sim.now() < st->runUntil)
+        sim.run(std::min<Tick>(st->runUntil,
+                               sim.now() + sim::fromUs(10.0)));
+    sim.run(st->runUntil + sim::fromUs(5.0));
+
+    ReliableClientServerResult r;
+    r.requestsSent = st->sent;
+    r.responses = st->responses;
+    r.lostRequests =
+        st->sent > st->responses ? st->sent - st->responses : 0;
+    const transport::TransportStats &cs = client_ep.stats();
+    const transport::TransportStats &ss = server_ep.stats();
+    r.retransmits = cs.retransmits + cs.fastRetransmits +
+                    ss.retransmits + ss.fastRetransmits;
+    r.timeouts = cs.timeouts + ss.timeouts;
+    r.windowStalls = cs.windowStalls + ss.windowStalls;
+    r.connAborts = cs.aborts + ss.aborts;
+    r.offeredMops = cfg.offeredOps / 1e6;
+    r.achievedMops = static_cast<double>(st->windowResponses) /
                      sim::toSeconds(cfg.window) / 1e6;
     r.gbpsIn = static_cast<double>(st->respBytes) * 8.0 /
                sim::toSeconds(cfg.window) / 1e9;

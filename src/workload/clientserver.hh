@@ -23,6 +23,7 @@
 #include "net/fabric.hh"
 #include "sim/time.hh"
 #include "stats/histogram.hh"
+#include "transport/transport.hh"
 
 namespace ccn::workload {
 
@@ -37,6 +38,10 @@ struct ClientServerConfig
     sim::Tick window = sim::fromUs(300.0);
     sim::Tick drain = sim::fromUs(30.0); ///< Post-window settle time.
     std::uint64_t seed = 42;
+
+    /// Transport tuning for the reliable variant (ignored by the raw
+    /// datagram harness).
+    transport::TransportConfig tp;
 };
 
 /** Result of one client-server measurement. */
@@ -66,6 +71,41 @@ struct ClientServerResult
  * does not touch TX sinks).
  */
 ClientServerResult runKvClientServer(
+    sim::Simulator &sim, mem::CoherentSystem &server_mem,
+    driver::NicInterface &server_nic, mem::CoherentSystem &client_mem,
+    driver::NicInterface &client_nic, std::uint32_t server_addr,
+    const ClientServerConfig &cfg);
+
+/** Result of one reliable (transport-backed) client-server run. */
+struct ReliableClientServerResult
+{
+    std::uint64_t requestsSent = 0;  ///< Accepted by transport send().
+    std::uint64_t responses = 0;     ///< Over the whole run.
+    /// Accepted requests that never produced a response: nonzero only
+    /// when a connection aborted or the drain budget ran out.
+    std::uint64_t lostRequests = 0;
+    std::uint64_t retransmits = 0;   ///< Timeout + fast, both hosts.
+    std::uint64_t timeouts = 0;      ///< RTO expirations, both hosts.
+    std::uint64_t windowStalls = 0;  ///< send() backpressure events.
+    std::uint64_t connAborts = 0;    ///< Errored connections.
+    double offeredMops = 0;
+    double achievedMops = 0;         ///< In-window responses per sec.
+    double gbpsIn = 0;               ///< In-window response bytes.
+    double rttMinNs = 0;
+    double rttP50Ns = 0;
+    double rttP95Ns = 0;
+    double rttP99Ns = 0;
+};
+
+/**
+ * Like runKvClientServer, but every request and response travels over
+ * the reliable transport (one connection per client queue), so the
+ * workload tolerates fabric loss, reordering, corruption, and link
+ * flaps: requests are never lost unless a connection exhausts its
+ * retries. After the measurement window the harness keeps simulating
+ * (up to cfg.drain) until every accepted request has its response.
+ */
+ReliableClientServerResult runKvClientServerReliable(
     sim::Simulator &sim, mem::CoherentSystem &server_mem,
     driver::NicInterface &server_nic, mem::CoherentSystem &client_mem,
     driver::NicInterface &client_nic, std::uint32_t server_addr,

@@ -64,6 +64,23 @@ TEST(Histogram, RecordNActsLikeRepeats)
     EXPECT_DOUBLE_EQ(a.mean(), b.mean());
 }
 
+TEST(Histogram, RecordNZeroCountIsANoOp)
+{
+    Histogram h;
+    h.record(500);
+    h.recordN(7, 0); // Must not touch min/max/sum/count.
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 500u);
+    EXPECT_EQ(h.max(), 500u);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.0);
+
+    Histogram empty;
+    empty.recordN(123456, 0);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.min(), 0u);
+    EXPECT_EQ(empty.max(), 0u);
+}
+
 TEST(Histogram, MergeCombinesSamples)
 {
     Histogram a, b;

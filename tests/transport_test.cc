@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the reliable transport subsystem: loss recovery by
+ * retransmission, out-of-order reassembly, duplicate suppression,
+ * credit-window backpressure, bounded-retry abort, CRC corruption
+ * detection at the NIC, and a lossy+flapping end-to-end KV run that
+ * must complete with zero lost requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ccnic/ccnic.hh"
+#include "mem/platform.hh"
+#include "net/fabric.hh"
+#include "transport/transport.hh"
+#include "workload/clientserver.hh"
+
+namespace {
+
+using namespace ccn;
+using transport::Connection;
+using transport::Endpoint;
+using transport::Segment;
+using transport::TransportConfig;
+
+/** Two CC-NIC hosts with transport endpoints over a fabric. */
+struct TransportWorld
+{
+    TransportWorld(std::uint64_t seed, const net::LinkConfig &link,
+                   const TransportConfig &tp = {})
+        : plat(mem::icxConfig()), memA(simv, plat), memB(simv, plat),
+          rngA(seed), rngB(seed + 1)
+    {
+        auto cfg = ccnic::optimizedConfig(1, 0, plat);
+        cfg.loopback = false;
+        nicA = std::make_unique<ccnic::CcNic>(simv, memA, cfg, 0, 1,
+                                              rngA);
+        nicB = std::make_unique<ccnic::CcNic>(simv, memB, cfg, 0, 1,
+                                              rngB);
+        nicA->start();
+        nicB->start();
+        fabric = std::make_unique<net::Fabric>(simv);
+        addrA = fabric->attach("hostA", net::hooksFor(*nicA), link);
+        addrB = fabric->attach("hostB", net::hooksFor(*nicB), link);
+        epA = std::make_unique<Endpoint>(simv, memA, *nicA, tp, "A");
+        epB = std::make_unique<Endpoint>(simv, memB, *nicB, tp, "B");
+    }
+
+    mem::PlatformConfig plat;
+    sim::Simulator simv;
+    mem::CoherentSystem memA, memB;
+    sim::Rng rngA, rngB;
+    std::unique_ptr<ccnic::CcNic> nicA, nicB;
+    std::unique_ptr<net::Fabric> fabric;
+    std::uint32_t addrA = 0, addrB = 0;
+    std::unique_ptr<Endpoint> epA, epB;
+};
+
+/** Receive into @p out (may be null) until deadline or error. */
+sim::Task
+recvLoop(Connection *c, sim::Tick until,
+         std::vector<std::uint64_t> *out)
+{
+    Segment seg;
+    while (co_await c->recv(&seg, until)) {
+        if (out)
+            out->push_back(seg.userData);
+    }
+    co_return;
+}
+
+/** recvLoop that only starts consuming after @p sleep. */
+sim::Task
+delayedRecvLoop(sim::Simulator &simv, Connection *c, sim::Tick sleep,
+                sim::Tick until, std::vector<std::uint64_t> *out)
+{
+    co_await simv.delay(sleep);
+    Segment seg;
+    while (co_await c->recv(&seg, until))
+        out->push_back(seg.userData);
+    co_return;
+}
+
+/**
+ * Connect to @p dst, run @p after_connect (fault arming), then send
+ * @p n segments with userData 1000..1000+n-1.
+ */
+sim::Task
+sendLoop(Endpoint &ep, std::uint32_t dst, int n,
+         std::function<void()> after_connect, Connection **conn_out,
+         int *accepted)
+{
+    Connection *c = co_await ep.connect(dst, /*flow_id=*/7);
+    if (conn_out)
+        *conn_out = c;
+    if (c->state() != Connection::State::Open)
+        co_return;
+    if (after_connect)
+        after_connect();
+    for (int i = 0; i < n; ++i) {
+        if (!co_await c->send(256, 1000u + static_cast<unsigned>(i)))
+            co_return;
+        if (accepted)
+            (*accepted)++;
+    }
+    co_return;
+}
+
+/** Expect @p got to be exactly 1000..1000+n-1 in order. */
+void
+expectInOrder(const std::vector<std::uint64_t> &got, int n)
+{
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                  1000u + static_cast<unsigned>(i));
+}
+
+TEST(Transport, RetransmitRecoversSingleDrop)
+{
+    TransportWorld w(11, {});
+    const sim::Tick until = sim::fromUs(400.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, &got));
+    });
+    // Drop exactly one data packet on the client's uplink after the
+    // handshake completes.
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 16, [&] {
+        w.fabric->uplinkOf(w.addrA).forceDrop(1);
+    }, nullptr, nullptr));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    expectInOrder(got, 16);
+    const auto &st = w.epA->stats();
+    EXPECT_GE(st.retransmits + st.fastRetransmits, 1u);
+    EXPECT_EQ(st.aborts, 0u);
+    EXPECT_EQ(w.fabric->counters(w.addrA).faultDrops, 1u);
+}
+
+TEST(Transport, OutOfOrderArrivalIsReassembledInOrder)
+{
+    TransportWorld w(12, {});
+    const sim::Tick until = sim::fromUs(400.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, &got));
+    });
+    // Hold one data packet so it arrives behind its successor.
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 16, [&] {
+        w.fabric->uplinkOf(w.addrA).forceReorder(1);
+    }, nullptr, nullptr));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    expectInOrder(got, 16);
+    EXPECT_GE(w.epB->stats().outOfOrder, 1u);
+    EXPECT_EQ(w.fabric->counters(w.addrA).reorders, 1u);
+}
+
+TEST(Transport, DuplicatesAreSuppressed)
+{
+    // Every packet in both directions is duplicated by the links.
+    net::LinkConfig link;
+    link.faults.dupRate = 1.0;
+    TransportWorld w(13, link);
+    const sim::Tick until = sim::fromUs(400.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, &got));
+    });
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 16, nullptr, nullptr,
+                          nullptr));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    expectInOrder(got, 16); // Each segment delivered exactly once.
+    EXPECT_GE(w.epB->stats().dupsReceived, 16u);
+    EXPECT_GT(w.fabric->counters(w.addrA).dups, 0u);
+}
+
+TEST(Transport, WindowFullBackpressuresSender)
+{
+    TransportConfig tp;
+    tp.window = 4;
+    TransportWorld w(14, {}, tp);
+    const sim::Tick until = sim::fromUs(600.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    // The receiving app sleeps first, so the 4-segment receive buffer
+    // fills, credits reach zero, and the sender must stall until the
+    // window-update ACK reopens the flow.
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(delayedRecvLoop(w.simv, c, sim::fromUs(100.0),
+                                     until, &got));
+    });
+
+    Connection *conn = nullptr;
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 32, nullptr, &conn,
+                          nullptr));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    expectInOrder(got, 32);
+    ASSERT_NE(conn, nullptr);
+    EXPECT_GT(w.epA->stats().windowStalls, 0u);
+    EXPECT_EQ(conn->inFlight(), 0u);
+    // A 4-segment window can never overflow the link's default queue.
+    EXPECT_EQ(w.fabric->counters(w.addrA).txDrops, 0u);
+}
+
+TEST(Transport, MaxRetriesAbortSurfacesError)
+{
+    TransportConfig tp;
+    tp.initialRto = sim::fromUs(10.0);
+    tp.minRto = sim::fromUs(5.0);
+    tp.maxRto = sim::fromUs(20.0);
+    tp.maxRetries = 3;
+    TransportWorld w(15, {}, tp);
+    const sim::Tick until = sim::fromUs(1000.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, nullptr));
+    });
+
+    Connection *conn = nullptr;
+    int accepted = 0;
+    // After the handshake, the server's downlink goes dark for good:
+    // no data or ack ever crosses again. More than a full window is
+    // offered, so the sender stalls and then sees the abort.
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 128, [&] {
+        w.fabric->downlinkOf(w.addrB).setUp(false);
+    }, &conn, &accepted));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    ASSERT_NE(conn, nullptr);
+    EXPECT_EQ(conn->state(), Connection::State::Error);
+    EXPECT_LE(accepted, 64); // Nothing beyond one window's worth.
+    EXPECT_LT(accepted, 128); // send() returned false on the abort.
+    const auto &st = w.epA->stats();
+    EXPECT_GE(st.timeouts, 3u);
+    EXPECT_GE(st.aborts, 1u);
+    EXPECT_GT(w.fabric->counters(w.addrB).downDrops, 0u);
+}
+
+TEST(Transport, CorruptedPacketIsDroppedByFcsAndRecovered)
+{
+    TransportWorld w(16, {});
+    const sim::Tick until = sim::fromUs(400.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, &got));
+    });
+    // Flip a payload bit in one data packet: the receiving NIC's FCS
+    // check must discard it, and the transport must retransmit.
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 16, [&] {
+        w.fabric->uplinkOf(w.addrA).forceCorrupt(1);
+    }, nullptr, nullptr));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    expectInOrder(got, 16);
+    EXPECT_EQ(w.nicB->rxCrcDrops(), 1u);
+    EXPECT_EQ(w.fabric->counters(w.addrA).corrupts, 1u);
+    const auto &st = w.epA->stats();
+    EXPECT_GE(st.retransmits + st.fastRetransmits, 1u);
+    EXPECT_EQ(st.aborts, 0u);
+}
+
+TEST(Transport, LossyFlappingKvRunLosesNoRequests)
+{
+    const auto plat = mem::icxConfig();
+    sim::Simulator simv;
+    mem::CoherentSystem server_mem(simv, plat), client_mem(simv, plat);
+    sim::Rng rng_s(3), rng_c(4);
+
+    auto mk = [&](mem::CoherentSystem &m, int queues, sim::Rng &rng) {
+        auto cfg = ccnic::optimizedConfig(queues, 0, plat);
+        cfg.loopback = false;
+        auto nic = std::make_unique<ccnic::CcNic>(simv, m, cfg, 0, 1,
+                                                  rng);
+        nic->start();
+        return nic;
+    };
+    auto server_nic = mk(server_mem, 2, rng_s);
+    auto client_nic = mk(client_mem, 1, rng_c);
+
+    // 1% random loss plus periodic link flaps on both hosts' links.
+    net::Fabric fabric(simv);
+    net::LinkConfig link;
+    link.gbps = 25.0;
+    link.faults.dropRate = 0.01;
+    link.faults.seed = 77;
+    link.faults.upTime = sim::fromUs(120.0);
+    link.faults.downTime = sim::fromUs(8.0);
+    const auto server_addr =
+        fabric.attach("server", net::hooksFor(*server_nic), link);
+    fabric.attach("client", net::hooksFor(*client_nic), link);
+
+    workload::ClientServerConfig cfg;
+    cfg.kv.serverThreads = 2;
+    cfg.kv.numObjects = 1u << 12;
+    cfg.offeredOps = 1e6;
+    cfg.clientQueues = 1;
+    cfg.window = sim::fromUs(150.0);
+    cfg.drain = sim::fromUs(1500.0);
+
+    const auto r = workload::runKvClientServerReliable(
+        simv, server_mem, *server_nic, client_mem, *client_nic,
+        server_addr, cfg);
+
+    EXPECT_GT(r.requestsSent, 50u);
+    EXPECT_EQ(r.lostRequests, 0u); // Reliability under loss + flaps.
+    EXPECT_EQ(r.connAborts, 0u);
+    EXPECT_EQ(r.responses, r.requestsSent);
+    EXPECT_GT(r.retransmits, 0u); // The faults actually bit.
+    EXPECT_GT(r.rttMinNs, 1000.0);
+    EXPECT_GE(r.rttP99Ns, r.rttP50Ns);
+
+    const auto sc = fabric.counters(server_addr);
+    EXPECT_GT(sc.faultDrops + sc.downDrops, 0u);
+}
+
+} // namespace
