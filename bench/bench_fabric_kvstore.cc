@@ -181,6 +181,7 @@ main()
     stats::JsonReport json("fabric_kvstore");
     json.add("throughput_vs_bandwidth", t);
     json.add("goodput_vs_loss", lt);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

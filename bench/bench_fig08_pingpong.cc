@@ -114,6 +114,7 @@ main()
     }
     t.print();
     json.add("pingpong_latency", t);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

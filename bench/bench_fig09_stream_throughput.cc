@@ -111,6 +111,7 @@ main()
     }
     t.print();
     json.add("stream_throughput", t);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

@@ -97,6 +97,7 @@ main()
         .cell("4.3");
     s.print();
     json.add("headline_comparisons", s);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

@@ -45,6 +45,7 @@ main()
     }
     t.print();
     json.add("loopback_vs_cores", t);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

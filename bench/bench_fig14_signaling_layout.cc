@@ -68,6 +68,7 @@ main()
     }
     b.print();
     json.add("descriptor_layout", b);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

@@ -70,6 +70,7 @@ main()
     }
     t.print();
     json.add("buffer_mgmt_ablation", t);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

@@ -63,6 +63,7 @@ main()
     }
     r.print();
     json.add("rx_batch_sweep", r);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

@@ -87,6 +87,7 @@ main()
     }
     t.print();
     json.add("coherence_counters", t);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

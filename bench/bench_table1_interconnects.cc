@@ -5,6 +5,7 @@
  * effective data ceilings.
  */
 
+#include "obs/obs.hh"
 #include "stats/table.hh"
 #include "stats/json.hh"
 
@@ -27,6 +28,7 @@ main()
         .cell("192 (x4)").cell("1020 Gbps cached reads");
     t.print();
     json.add("interconnects", t);
+    json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
     return 0;
 }

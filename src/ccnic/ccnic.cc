@@ -181,6 +181,9 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
       hostSocket_(host_socket), nicSocket_(nic_socket)
 {
     cfg_.pool.homeSocket = host_socket;
+    // Ring index arithmetic masks with entries-1, so normalize a
+    // non-power-of-two request before sizing rings and shadows.
+    cfg_.ringEntries = driver::DescRing::roundUpPow2(cfg_.ringEntries);
     // Keep NIC batches group-aligned so clears land on line boundaries.
     cfg_.nicBatch = std::max(4, (cfg_.nicBatch / 4) * 4);
     pool_ = std::make_unique<driver::Mempool>(mem_, cfg_.pool, rng);
@@ -284,6 +287,7 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         if (cfg_.signal == SignalMode::Register) {
             if (queue.txFreeScan !=
                 static_cast<std::uint32_t>(queue.txHead.value())) {
+                noteSignalRead(queue.txHead.addr());
                 co_await mem_.load(queue.hostAgent,
                                    queue.txHead.addr(), 8);
                 queue.hostTxHeadCache = queue.txHead.value();
@@ -334,6 +338,7 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
                     static_cast<std::uint32_t>(queue.hostTxHeadCache));
         };
         if (space() < static_cast<std::uint32_t>(count)) {
+            noteSignalRead(queue.txHead.addr());
             co_await mem_.load(queue.hostAgent, queue.txHead.addr(), 8);
             queue.hostTxHeadCache = queue.txHead.value();
         }
@@ -400,6 +405,9 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         };
         co_await mem_.postMulti(queue.hostAgent, spans,
                                 std::move(publish));
+        noteSignalWrite(reg ? queue.txTail.addr()
+                            : queue.tx.lineOf(tail_val ? static_cast<
+                                  std::uint32_t>(tail_val) - 1 : 0));
     }
     if (cfg_.signal == SignalMode::Inline && cfg_.nicBufferMgmt) {
         // Read-ahead the ring lines the next burst will use: the
@@ -444,6 +452,7 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
             // reloading the tail register when it looks empty.
             if (idx == static_cast<std::uint32_t>(
                            queue.hostRxTailCache)) {
+                noteSignalRead(queue.rxTail.addr());
                 co_await mem_.load(queue.hostAgent,
                                    queue.rxTail.addr(), 8);
                 queue.hostRxTailCache = queue.rxTail.value();
@@ -514,6 +523,7 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
                 };
                 co_await mem_.postMulti(queue.hostAgent, clear_spans,
                                         std::move(publish));
+                noteSignalWrite(clear_spans.front().addr);
                 queue.rxClearScan = limit;
             }
         } else {
@@ -523,6 +533,7 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
                 {queue.rxHead.addr(), 8}};
             co_await mem_.postMulti(queue.hostAgent, reg,
                                     [qp, v] { qp->rxHead.publish(v); });
+            noteSignalWrite(queue.rxHead.addr());
         }
     } else {
         // Host-managed path (PCIe-style): consume completed slots and
@@ -577,6 +588,7 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
             co_await mem_.postMulti(queue.hostAgent, post_spans,
                                     std::move(publish));
             if (cfg_.signal == SignalMode::Register) {
+                noteSignalWrite(queue.rxHead.addr());
                 co_await mem_.store(queue.hostAgent,
                                     queue.rxHead.addr(), 8);
                 queue.rxHead.publish(queue.rxPostProd);
@@ -616,6 +628,7 @@ CcNic::nicTxTask(int q)
         // Wait for work.
         if (cfg_.signal == SignalMode::Inline) {
             const Addr line = queue.tx.lineOf(queue.txCons);
+            noteSignalRead(line);
             co_await mem_.load(queue.nicAgent, line, mem::kLineBytes);
             auto &head = queue.tx.slot(queue.txCons);
             if (!head.ready || head.meta == kConsumed) {
@@ -627,6 +640,7 @@ CcNic::nicTxTask(int q)
             if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
                 queue.txCons) {
                 const Addr line = queue.txTail.addr();
+                noteSignalRead(line);
                 co_await mem_.load(queue.nicAgent, line, 8);
                 queue.nicTxTailCache = queue.txTail.value();
                 if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
@@ -765,6 +779,7 @@ CcNic::nicTxTask(int q)
                 };
                 co_await mem_.postMulti(queue.nicAgent, clear_spans,
                                         std::move(publish));
+                noteSignalWrite(clear_spans.front().addr);
             }
             queue.txClearScan = limit;
         } else {
@@ -774,6 +789,7 @@ CcNic::nicTxTask(int q)
                 {queue.txHead.addr(), 8}};
             co_await mem_.postMulti(queue.nicAgent, reg,
                                     [qp, v] { qp->txHead.publish(v); });
+            noteSignalWrite(queue.txHead.addr());
         }
 
         // Hand to the wire before buffer release (segment metadata is
@@ -881,6 +897,7 @@ CcNic::nicRxTask(int q)
                     if (space >= needed)
                         break;
                     const Addr line = queue.rxHead.addr();
+                    noteSignalRead(line);
                     co_await mem_.load(queue.nicAgent, line, 8);
                     queue.nicRxHeadCache = queue.rxHead.value();
                     if (queue.rx.entries() - 1 -
@@ -948,6 +965,10 @@ CcNic::nicRxTask(int q)
                 };
                 co_await mem_.postMulti(queue.nicAgent, spans,
                                         std::move(publish));
+                if (!spans.empty()) {
+                    noteSignalWrite(reg ? queue.rxTail.addr()
+                                        : spans.back().addr);
+                }
             }
             if (cfg_.signal == SignalMode::Inline) {
                 // Grant-ahead the next RX ring lines (§3.2).
@@ -971,6 +992,7 @@ CcNic::nicRxTask(int q)
                        kRxPosted) {
                     const Addr line =
                         queue.rx.lineOf(queue.rxPostCons);
+                    noteSignalRead(line);
                     co_await mem_.load(queue.nicAgent, line,
                                        mem::kLineBytes);
                     if (queue.rx.slot(queue.rxPostCons).meta ==
@@ -1018,6 +1040,8 @@ CcNic::nicRxTask(int q)
                 };
                 co_await mem_.postMulti(queue.nicAgent, spans,
                                         std::move(publish));
+                noteSignalWrite(reg ? queue.rxTail.addr()
+                                    : spans.back().addr);
             }
         }
 

@@ -32,6 +32,8 @@
 #include "driver/ring.hh"
 #include "mem/coherence.hh"
 #include "mem/platform.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
@@ -192,6 +194,12 @@ class CcNic : public driver::NicInterface
     /** RX packets discarded on FCS mismatch (corrupted on the wire). */
     std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
 
+    /** Ring-signal reads (register reloads / inline-signal polls). */
+    std::uint64_t signalReads() const { return signalReads_; }
+
+    /** Ring-signal publishes (register writes / inline flag stores). */
+    std::uint64_t signalWrites() const { return signalWrites_; }
+
   private:
     struct Queue
     {
@@ -235,6 +243,26 @@ class CcNic : public driver::NicInterface
     sim::Task nicTxTask(int q);
     sim::Task nicRxTask(int q);
 
+    /// @name Signal telemetry: counts ring-signal reads/publishes and
+    /// records tracepoints when tracing is enabled.
+    /// @{
+    void
+    noteSignalRead(mem::Addr a)
+    {
+        signalReads_++;
+        obs::tracepoint(obs::EventKind::RingSignalRead, "ccnic.signal",
+                        sim_.now(), a);
+    }
+
+    void
+    noteSignalWrite(mem::Addr a)
+    {
+        signalWrites_++;
+        obs::tracepoint(obs::EventKind::RingSignalWrite, "ccnic.signal",
+                        sim_.now(), a);
+    }
+    /// @}
+
     /** Deliver a TX packet to the wire. */
     void deliverTx(int q, const WirePacket &pkt);
 
@@ -254,8 +282,10 @@ class CcNic : public driver::NicInterface
     std::unique_ptr<driver::Mempool> pool_;
     std::vector<std::unique_ptr<Queue>> queues_;
     std::function<void(int, const WirePacket &)> txSink_;
-    std::uint64_t txCount_ = 0;
-    std::uint64_t rxCrcDrops_ = 0;
+    obs::Counter txCount_{"ccnic.tx_packets"};
+    obs::Counter rxCrcDrops_{"ccnic.rx_crc_drops"};
+    obs::Counter signalReads_{"ccnic.signal_reads"};
+    obs::Counter signalWrites_{"ccnic.signal_writes"};
     bool started_ = false;
 };
 

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <cassert>
 
+#include "obs/trace.hh"
+
 namespace ccn::driver {
 
 namespace {
@@ -178,6 +180,7 @@ Mempool::allocBurst(mem::AgentId agent, std::uint32_t size_hint,
             out[got++] = &bufs[rc.stack.back()];
             rc.stack.pop_back();
         }
+        telem_.recycleHits += static_cast<std::uint64_t>(got);
         if (got > 0) {
             // Core-local bookkeeping: touch the stack's top line(s);
             // these stay resident in the agent's own L2.
@@ -206,6 +209,13 @@ Mempool::allocBurst(mem::AgentId agent, std::uint32_t size_hint,
         }
     }
 
+    telem_.allocs += static_cast<std::uint64_t>(got);
+    if (got < count) {
+        telem_.exhausted++;
+        obs::tracepoint(obs::EventKind::PoolExhausted, "alloc.short",
+                        mem_.simulator().now(),
+                        static_cast<std::uint64_t>(count - got));
+    }
     for (int i = 0; i < got; ++i) {
         out[i]->len = 0;
         out[i]->nextSeg = nullptr;
@@ -225,6 +235,7 @@ sim::Coro<void>
 Mempool::freeBurst(mem::AgentId agent, PacketBuf **bufs, int count,
                    int stripe)
 {
+    telem_.frees += static_cast<std::uint64_t>(count);
     int to_global = 0;
     std::uint32_t any_slot = 0;
     bool any_recycled = false;

@@ -29,10 +29,22 @@
 
 #include "driver/packet.hh"
 #include "mem/coherence.hh"
+#include "obs/obs.hh"
 #include "sim/random.hh"
 #include "sim/task.hh"
 
 namespace ccn::driver {
+
+/** Registry-backed pool counters ("pool.*", summed across pools). */
+struct PoolTelemetry
+{
+    obs::Counter allocs{"pool.allocs"};  ///< Buffers handed out.
+    obs::Counter frees{"pool.frees"};    ///< Buffers returned.
+    obs::Counter recycleHits{
+        "pool.recycle_hits"};            ///< Served from a recycle stack.
+    obs::Counter exhausted{
+        "pool.exhausted"};               ///< Burst came up short.
+};
 
 /** Pool construction parameters and optimization toggles. */
 struct MempoolConfig
@@ -90,6 +102,9 @@ class Mempool
 
     const MempoolConfig &config() const { return cfg_; }
 
+    /** Registry-backed counters for this pool. */
+    const PoolTelemetry &telemetry() const { return telem_; }
+
     /** Buffers currently free (global stacks only; for tests). */
     std::size_t freeCount(BufClass cls) const;
 
@@ -137,6 +152,7 @@ class Mempool
 
     mem::CoherentSystem &mem_;
     MempoolConfig cfg_;
+    PoolTelemetry telem_;
 
     std::vector<PacketBuf> largeBufs_;
     std::vector<PacketBuf> smallBufs_;

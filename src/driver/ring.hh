@@ -58,16 +58,37 @@ class DescRing
     };
 
     /**
+     * Round @p n up to the next power of two (minimum 1). Index
+     * arithmetic masks with entries-1, so a non-power-of-two ring
+     * would silently alias distinct slots onto the same storage.
+     */
+    static std::uint32_t
+    roundUpPow2(std::uint32_t n)
+    {
+        if (n <= 1)
+            return 1;
+        --n;
+        n |= n >> 1;
+        n |= n >> 2;
+        n |= n >> 4;
+        n |= n >> 8;
+        n |= n >> 16;
+        return n + 1;
+    }
+
+    /**
      * @param mem_system  Memory system for ring storage.
      * @param home_socket Homing (§3.3: writer-homed is optimal).
-     * @param entries     Ring size (power of two).
+     * @param entries     Ring size; rounded up to a power of two
+     *                    (query entries() for the effective size).
      * @param layout      Cache-line layout.
      */
     DescRing(mem::CoherentSystem &mem_system, int home_socket,
              std::uint32_t entries, RingLayout layout)
-        : layout_(layout), entries_(entries), mask_(entries - 1),
-          slots_(entries)
+        : layout_(layout), entries_(roundUpPow2(entries)),
+          mask_(roundUpPow2(entries) - 1), slots_(roundUpPow2(entries))
     {
+        entries = entries_;
         const std::uint32_t bytes_per_entry =
             layout == RingLayout::Padded ? mem::kLineBytes : 16;
         base_ = mem_system.alloc(

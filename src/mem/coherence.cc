@@ -5,6 +5,8 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/trace.hh"
+
 namespace ccn::mem {
 
 using sim::Tick;
@@ -167,6 +169,7 @@ CoherentSystem::invalidateCopies(LineDir &d, Addr line, int req_socket,
             const int os = agents_[d.owner].socket;
             (os == req_socket ? r.anyLocal : r.anyRemote) = true;
             l2_[d.owner].erase(line);
+            telem_.invalidations++;
         }
         d.owner = -1;
     }
@@ -182,6 +185,7 @@ CoherentSystem::invalidateCopies(LineDir &d, Addr line, int req_socket,
                     l2_[i].erase(line)) {
                     const int is = agents_[i].socket;
                     (is == req_socket ? r.anyLocal : r.anyRemote) = true;
+                    telem_.invalidations++;
                 }
             }
         }
@@ -282,10 +286,14 @@ CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
         if (inv.anyRemote || inv.llcRemote) {
             t = linkXfer(1 - s, cfg_.ctrlMsgBytes, t);
             t = linkXfer(s, cfg_.ctrlMsgBytes, t);
-            if (!prefetch)
+            if (!prefetch) {
                 ag.counters.remoteRfos++;
-            else
+                telem_.remoteRfos++;
+                obs::tracepoint(obs::EventKind::CoherenceRemoteRfo,
+                                "rfo.upgrade", t, line);
+            } else {
                 ag.counters.prefetchRemote++;
+            }
         }
         e->state = LineState::Modified;
         e->dirty = true;
@@ -340,16 +348,20 @@ CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
             // Data from home memory.
             if (home == s) {
                 t = dramAccess(s, kLineBytes, t);
-                if (!prefetch)
+                if (!prefetch) {
                     ag.counters.dramReads++;
+                    telem_.dramReads++;
+                }
             } else {
                 crossed = true;
                 t = linkXfer(home, cfg_.ctrlMsgBytes, t);
                 t += cfg_.remoteChaLat;
                 t = dramAccess(home, kLineBytes, t);
                 t = linkXfer(s, cfg_.dataMsgBytes, t);
-                if (!prefetch)
+                if (!prefetch) {
                     ag.counters.dramReads++;
+                    telem_.dramReads++;
+                }
             }
         }
         if (inv.anyRemote && !crossed) {
@@ -359,10 +371,14 @@ CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
             t = linkXfer(s, cfg_.ctrlMsgBytes, t);
         }
         if (crossed) {
-            if (!prefetch)
+            if (!prefetch) {
                 ag.counters.remoteRfos++;
-            else
+                telem_.remoteRfos++;
+                obs::tracepoint(obs::EventKind::CoherenceRemoteRfo,
+                                "rfo.miss", t, line);
+            } else {
                 ag.counters.prefetchRemote++;
+            }
         }
         installL2(a, line, LineState::Modified, true, t);
         d.owner = static_cast<std::int16_t>(a);
@@ -420,8 +436,12 @@ CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
             // owner's copy is invalidated in the same transaction.
             l2_[owner].erase(line);
             d.owner = -1;
+            telem_.migratoryHandoffs++;
+            obs::tracepoint(obs::EventKind::CoherenceMigratory,
+                            "migratory.handoff", t, line);
             if (crossed) {
                 ag.counters.remoteReads++;
+                telem_.remoteReads++;
             }
             installL2(a, line, LineState::Exclusive, true, t);
             d.owner = static_cast<std::int16_t>(a);
@@ -449,8 +469,10 @@ CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
     } else if (d.llcMask & (std::uint8_t(1) << s)) {
         t += cfg_.llcDataLat;
         llc_[s].touch(line);
-        if (!prefetch)
+        if (!prefetch) {
             ag.counters.llcHits++;
+            telem_.llcHits++;
+        }
     } else if (d.llcMask) {
         const int r = (d.llcMask & 1) ? 0 : 1;
         crossed = true;
@@ -468,15 +490,21 @@ CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
             t = dramAccess(home, kLineBytes, t);
             t = linkXfer(s, cfg_.dataMsgBytes, t);
         }
-        if (!prefetch)
+        if (!prefetch) {
             ag.counters.dramReads++;
+            telem_.dramReads++;
+        }
     }
 
     if (crossed) {
-        if (!prefetch)
+        if (!prefetch) {
             ag.counters.remoteReads++;
-        else
+            telem_.remoteReads++;
+            obs::tracepoint(obs::EventKind::CoherenceRemoteRead,
+                            "read.miss", t, line);
+        } else {
             ag.counters.prefetchRemote++;
+        }
     }
 
     d.busyUntil = t;
@@ -866,6 +894,7 @@ CoherentSystem::ddioWrite(int socket, Addr addr, std::uint32_t bytes,
         d.migratory = false;
         d.writeBusyUntil = std::max(d.writeBusyUntil, t);
         bumpVersion(d, l, t);
+        telem_.ddioWrites++;
     }
     return t;
 }

@@ -35,6 +35,7 @@
 #include "mem/addr.hh"
 #include "mem/cache.hh"
 #include "mem/platform.hh"
+#include "obs/obs.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -43,6 +44,28 @@ namespace ccn::mem {
 
 /** Identifies one hardware thread context (core) in the system. */
 using AgentId = int;
+
+/**
+ * System-wide coherence telemetry (registry-backed, "mem.*"). Unlike
+ * the per-agent AgentCounters — which benches reset between sweep
+ * points — these accumulate for the life of the memory system and
+ * feed the process-wide obs::Registry snapshot.
+ */
+struct CoherenceTelemetry
+{
+    obs::Counter remoteReads{
+        "mem.remote_reads"};  ///< Demand reads served cross-socket.
+    obs::Counter remoteRfos{
+        "mem.remote_rfos"};   ///< Ownership transfers cross-socket.
+    obs::Counter migratoryHandoffs{
+        "mem.migratory_handoffs"}; ///< Dirty-ownership read grants.
+    obs::Counter llcHits{"mem.llc_hits"};     ///< Local LLC data hits.
+    obs::Counter dramReads{"mem.dram_reads"}; ///< Lines from memory.
+    obs::Counter invalidations{
+        "mem.invalidations"}; ///< Copies killed by writes/DDIO.
+    obs::Counter ddioWrites{
+        "mem.ddio_writes"};   ///< Device lines allocated into LLC.
+};
 
 /** Per-agent access statistics (offcore-response-style counters). */
 struct AgentCounters
@@ -201,6 +224,9 @@ class CoherentSystem
     /** Total data bytes carried into @p socket over UPI. */
     std::uint64_t upiBytesInto(int socket) const;
 
+    /** System-wide registry-backed coherence counters. */
+    const CoherenceTelemetry &telemetry() const { return telem_; }
+
     void resetStats();
     /// @}
 
@@ -320,6 +346,7 @@ class CoherentSystem
 
     sim::Simulator &sim_;
     PlatformConfig cfg_;
+    CoherenceTelemetry telem_;
 
     std::vector<Agent> agents_;
     std::vector<SetAssocCache> l2_;  // Indexed by agent.

@@ -155,8 +155,8 @@ class Fabric
         NicPortHooks hooks;
         std::unique_ptr<Link> up;   ///< NIC → switch.
         std::unique_ptr<Link> down; ///< Switch → NIC.
-        std::uint64_t rxPackets = 0;
-        std::uint64_t rxBytes = 0;
+        obs::Counter rxPackets{"net.fabric.rx_packets"};
+        obs::Counter rxBytes{"net.fabric.rx_bytes"};
     };
 
     const Port &portFor(std::uint32_t addr) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace ccn::net {
 
 using sim::Tick;
@@ -20,15 +22,19 @@ Link::send(const WirePacket &pkt)
 {
     if (!up_) {
         stats_.downDrops++;
+        obs::tracepoint(obs::EventKind::LinkDrop, "link.dark",
+                        sim_.now(), pkt.len);
         return false;
     }
     if (queue_.size() >= cfg_.queuePackets) {
         stats_.drops++;
         stats_.dropBytes += pkt.len;
+        obs::tracepoint(obs::EventKind::LinkDrop, "link.tail_drop",
+                        sim_.now(), pkt.len);
         return false;
     }
     queue_.put(pkt);
-    stats_.peakQueue = std::max(stats_.peakQueue, queue_.size());
+    stats_.peakQueue.observe(queue_.size());
     return true;
 }
 
@@ -71,16 +77,22 @@ Link::arrive(WirePacket pkt)
     // A dark link loses everything in flight.
     if (!up_) {
         stats_.downDrops++;
+        obs::tracepoint(obs::EventKind::LinkDrop, "link.dark",
+                        sim_.now(), pkt.len);
         return;
     }
 
     if (forceDrop_ > 0) {
         forceDrop_--;
         stats_.faultDrops++;
+        obs::tracepoint(obs::EventKind::LinkDrop, "link.fault_drop",
+                        sim_.now(), pkt.len);
         return;
     }
     if (f.dropRate > 0 && faultRng_.chance(f.dropRate)) {
         stats_.faultDrops++;
+        obs::tracepoint(obs::EventKind::LinkDrop, "link.fault_drop",
+                        sim_.now(), pkt.len);
         return;
     }
 

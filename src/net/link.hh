@@ -32,6 +32,7 @@
 #include <string>
 
 #include "ccnic/ccnic.hh"
+#include "obs/obs.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
@@ -86,22 +87,33 @@ struct LinkConfig
     double bytesPerSec() const { return sim::gbpsToBytesPerSec(gbps); }
 };
 
-/** Per-link counters. */
+/**
+ * Per-link counters. Registry-backed: every link also contributes to
+ * the process-wide "net.link.*" obs metrics (counters sum across
+ * links, the peak-queue gauge takes the max).
+ */
 struct LinkStats
 {
-    std::uint64_t txPackets = 0; ///< Packets that finished serializing.
-    std::uint64_t txBytes = 0;   ///< Payload bytes delivered.
-    std::uint64_t drops = 0;     ///< Tail-dropped packets.
-    std::uint64_t dropBytes = 0; ///< Payload bytes tail-dropped.
-    std::size_t peakQueue = 0;   ///< Egress queue high-water mark.
+    obs::Counter txPackets{
+        "net.link.tx_packets"};  ///< Packets that finished serializing.
+    obs::Counter txBytes{"net.link.tx_bytes"}; ///< Payload bytes delivered.
+    obs::Counter drops{"net.link.drops"};      ///< Tail-dropped packets.
+    obs::Counter dropBytes{
+        "net.link.drop_bytes"};  ///< Payload bytes tail-dropped.
+    obs::Gauge peakQueue{
+        "net.link.peak_queue"};  ///< Egress queue high-water mark.
 
     /// @name Fault-injection counters.
     /// @{
-    std::uint64_t faultDrops = 0; ///< Randomly / forcibly lost.
-    std::uint64_t downDrops = 0;  ///< Lost while the link was dark.
-    std::uint64_t dups = 0;       ///< Duplicates injected.
-    std::uint64_t reorders = 0;   ///< Packets held for swap-ahead.
-    std::uint64_t corrupts = 0;   ///< Payload corruptions injected.
+    obs::Counter faultDrops{
+        "net.link.fault_drops"}; ///< Randomly / forcibly lost.
+    obs::Counter downDrops{
+        "net.link.down_drops"};  ///< Lost while the link was dark.
+    obs::Counter dups{"net.link.dups"}; ///< Duplicates injected.
+    obs::Counter reorders{
+        "net.link.reorders"};    ///< Packets held for swap-ahead.
+    obs::Counter corrupts{
+        "net.link.corrupts"};    ///< Payload corruptions injected.
     /// @}
 };
 

@@ -29,12 +29,15 @@ struct SwitchConfig
     bool learning = true; ///< Learn src → ingress-port mappings.
 };
 
-/** Per-switch counters. */
+/** Per-switch counters (registry-backed, "net.switch.*"). */
 struct SwitchStats
 {
-    std::uint64_t forwarded = 0;    ///< Packets offered to an egress.
-    std::uint64_t unknownDrops = 0; ///< No forwarding-table match.
-    std::uint64_t reflectDrops = 0; ///< Dst resolved to ingress port.
+    obs::Counter forwarded{
+        "net.switch.forwarded"};    ///< Packets offered to an egress.
+    obs::Counter unknownDrops{
+        "net.switch.unknown_drops"}; ///< No forwarding-table match.
+    obs::Counter reflectDrops{
+        "net.switch.reflect_drops"}; ///< Dst resolved to ingress port.
 };
 
 /** A multi-port store-and-forward element. */

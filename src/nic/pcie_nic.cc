@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hh"
+
 namespace ccn::nic {
 
 using driver::PacketBuf;
@@ -16,6 +18,11 @@ constexpr std::uint64_t kRxPosted = 1;
 constexpr std::uint64_t kRxCompleted = 2;
 
 constexpr std::uint32_t kRingEntries = 1024;
+
+// Head/tail indices wrap by masking with kRingEntries - 1, and the
+// free-space computations below assume the full power-of-two span.
+static_assert((kRingEntries & (kRingEntries - 1)) == 0,
+              "PCIe NIC ring size must be a power of two");
 
 } // namespace
 
@@ -140,6 +147,7 @@ PcieNic::hostAgent(int q) const
 void
 PcieNic::deliverTx(int q, const WirePacket &pkt)
 {
+    txCount_++;
     // TX checksum offload: every packet leaves with a valid FCS.
     WirePacket out = pkt;
     out.fcs = ccnic::wireFcs(out);
@@ -258,6 +266,9 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
     // Doorbell. CX6-style devices inline the first descriptors into a
     // WC doorbell write; E810 uses a plain UC tail update.
     const std::uint32_t tail = queue.txProd;
+    doorbells_++;
+    obs::tracepoint(obs::EventKind::RingDoorbell, "pcie.tx_tail",
+                    sim_.now(), tail);
     if (params_.inlineDoorbellDesc) {
         co_await queue.wc.store(0xD0000000ULL + 64 * q, 64);
         co_await queue.wc.fence();
@@ -335,6 +346,9 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
         co_await mem_.postMulti(queue.hostAgent, post_spans,
                                 std::move(publish));
         // Batched RX tail doorbell.
+        doorbells_++;
+        obs::tracepoint(obs::EventKind::RingDoorbell, "pcie.rx_tail",
+                        sim_.now(), queue.rxPostProd);
         co_await link_.mmioUcWrite(4);
         const std::uint32_t tail = queue.rxPostProd;
         sim_.scheduleCallback(sim_.now() + link_.doorbellTransit(),

@@ -116,6 +116,12 @@ class PcieNic : public driver::NicInterface
     /** RX packets discarded on FCS mismatch (corrupted on the wire). */
     std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
 
+    /** MMIO doorbell writes issued by the host driver. */
+    std::uint64_t doorbells() const { return doorbells_; }
+
+    /** Packets that have crossed device TX processing. */
+    std::uint64_t txCount() const { return txCount_; }
+
   private:
     struct Queue
     {
@@ -169,7 +175,9 @@ class PcieNic : public driver::NicInterface
     std::vector<std::unique_ptr<Queue>> queues_;
     std::function<void(int, const WirePacket &)> txSink_;
     bool loopback_ = true;
-    std::uint64_t rxCrcDrops_ = 0;
+    obs::Counter rxCrcDrops_{"pcie_nic.rx_crc_drops"};
+    obs::Counter doorbells_{"pcie_nic.doorbells"};
+    obs::Counter txCount_{"pcie_nic.tx_packets"};
     bool started_ = false;
 };
 

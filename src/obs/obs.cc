@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Registry and trace implementation: metric registration/retirement,
+ * snapshot aggregation, and trace export formats.
+ */
+
+#include "obs/obs.hh"
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace ccn::obs {
+
+// ---------------------------------------------------------------------------
+// Metric registration.
+
+Metric::Metric(std::string name, MetricKind kind)
+    : name_(std::move(name)), kind_(kind)
+{
+    Registry::global().add(this);
+}
+
+Metric::~Metric()
+{
+    Registry::global().remove(this);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+Registry &
+Registry::global()
+{
+    static Registry r;
+    return r;
+}
+
+void
+Registry::add(Metric *m)
+{
+    live_.push_back(m);
+}
+
+void
+Registry::remove(Metric *m)
+{
+    live_.erase(std::find(live_.begin(), live_.end(), m));
+    Retired &r = retired_[m->name()];
+    r.kind = m->kind();
+    if (m->kind() == MetricKind::Gauge)
+        r.value = std::max(r.value, m->value());
+    else
+        r.value += m->value();
+}
+
+std::uint64_t
+Registry::value(const std::string &name) const
+{
+    std::uint64_t v = 0;
+    bool gauge = false;
+    if (auto it = retired_.find(name); it != retired_.end()) {
+        v = it->second.value;
+        gauge = it->second.kind == MetricKind::Gauge;
+    }
+    for (const Metric *m : live_) {
+        if (m->name() != name)
+            continue;
+        gauge = m->kind() == MetricKind::Gauge;
+        if (gauge)
+            v = std::max(v, m->value());
+        else
+            v += m->value();
+    }
+    return v;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::all() const
+{
+    // Aggregate by name: retired totals first, then live instances.
+    std::map<std::string, Retired> agg = retired_;
+    for (const Metric *m : live_) {
+        Retired &r = agg[m->name()];
+        r.kind = m->kind();
+        if (m->kind() == MetricKind::Gauge)
+            r.value = std::max(r.value, m->value());
+        else
+            r.value += m->value();
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(agg.size());
+    for (const auto &[name, r] : agg)
+        out.emplace_back(name, r.value);
+    return out;
+}
+
+stats::Table
+Registry::snapshot() const
+{
+    stats::Table t({"counter", "value"});
+    for (const auto &[name, value] : all())
+        t.row().cell(name).cell(value);
+    return t;
+}
+
+void
+Registry::reset()
+{
+    retired_.clear();
+    for (Metric *m : live_)
+        m->zero();
+}
+
+// ---------------------------------------------------------------------------
+// Trace.
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+    case EventKind::CoherenceRemoteRead: return "coherence.remote_read";
+    case EventKind::CoherenceRemoteRfo: return "coherence.remote_rfo";
+    case EventKind::CoherenceMigratory: return "coherence.migratory";
+    case EventKind::RingSignalRead: return "ring.signal_read";
+    case EventKind::RingSignalWrite: return "ring.signal_write";
+    case EventKind::RingDoorbell: return "ring.doorbell";
+    case EventKind::TransportRetransmit: return "transport.retransmit";
+    case EventKind::TransportStall: return "transport.stall";
+    case EventKind::TransportTimeout: return "transport.timeout";
+    case EventKind::TransportAbort: return "transport.abort";
+    case EventKind::LinkDrop: return "link.drop";
+    case EventKind::PoolExhausted: return "pool.exhausted";
+    case EventKind::Custom: break;
+    }
+    return "custom";
+}
+
+Trace &
+Trace::global()
+{
+    static Trace t;
+    return t;
+}
+
+void
+Trace::enable(std::size_t capacity)
+{
+    if (capacity == 0)
+        capacity = 1;
+    ring_.assign(capacity, TraceEvent{});
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    enabled_ = true;
+}
+
+std::vector<TraceEvent>
+Trace::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    // Oldest event: head_ when full, 0 while still filling.
+    const std::size_t start =
+        size_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+Trace::chromeJson() const
+{
+    // Chrome trace event format: instant events, ts in microseconds.
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << stats::jsonEscape(e.name)
+           << "\",\"cat\":\"" << eventKindName(e.kind)
+           << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1"
+           << ",\"ts\":" << stats::jsonCell(
+                  std::to_string(sim::toUs(e.tick)))
+           << ",\"args\":{\"arg\":" << e.arg << "}}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+Trace::json() const
+{
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    for (const TraceEvent &e : events()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"tick\":" << e.tick
+           << ",\"kind\":\"" << eventKindName(e.kind)
+           << "\",\"name\":\"" << stats::jsonEscape(e.name)
+           << "\",\"arg\":" << e.arg << "}";
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+Trace::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace ccn::obs

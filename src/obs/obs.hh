@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Process-wide telemetry registry: named counters and gauges.
+ *
+ * The paper's argument is built on *measuring* interconnect behavior
+ * (coherence transitions, ring signaling reads, descriptor transfers,
+ * §3-§5), so the simulator needs one consistent instrumentation layer
+ * instead of ad-hoc per-bench counters. obs provides:
+ *
+ *  - obs::Counter — a monotonically increasing 64-bit event count.
+ *    Increments are a single inlined add on a member variable; the
+ *    only extra cost versus a raw uint64_t is registration at
+ *    construction and retirement at destruction.
+ *  - obs::Gauge — a high-water mark (aggregated by max, not sum).
+ *  - obs::Registry — the process-wide table of every live metric.
+ *    Metrics sharing a name aggregate: counters sum across instances
+ *    (plus the retained totals of already-destroyed instances), gauges
+ *    take the max. snapshot() dumps the whole registry into a
+ *    stats::Table suitable for stats::JsonReport, which is how every
+ *    bench emits its "counters" section.
+ *
+ * Instances register under *stable* names ("transport.retransmits",
+ * "net.link.drops", ...) rather than per-object names, so the metric
+ * namespace is bounded and identical across bench configurations;
+ * per-object detail remains available through the owning object
+ * (e.g. Link::stats(), Endpoint::stats()).
+ *
+ * The simulator is single-threaded, so the registry takes no locks.
+ */
+
+#ifndef CCN_OBS_OBS_HH
+#define CCN_OBS_OBS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/table.hh"
+
+namespace ccn::obs {
+
+class Registry;
+
+/** Aggregation rule applied across same-named metric instances. */
+enum class MetricKind : std::uint8_t
+{
+    Counter, ///< Sum of live values + retired totals.
+    Gauge,   ///< Max of live values and retired maxima.
+};
+
+/**
+ * Base of all registered metrics. Holds the current value and the
+ * registration bookkeeping; derived classes only add the mutation
+ * API appropriate to their kind.
+ */
+class Metric
+{
+  public:
+    Metric(const Metric &) = delete;
+    Metric &operator=(const Metric &) = delete;
+
+    std::uint64_t value() const { return v_; }
+    operator std::uint64_t() const { return v_; }
+    const std::string &name() const { return name_; }
+    MetricKind kind() const { return kind_; }
+
+    /** Zero this instance (registry reset; does not unregister). */
+    void zero() { v_ = 0; }
+
+  protected:
+    Metric(std::string name, MetricKind kind);
+    ~Metric();
+
+    std::uint64_t v_ = 0;
+
+  private:
+    friend class Registry;
+
+    std::string name_;
+    MetricKind kind_;
+};
+
+/** Monotonic event count. */
+class Counter : public Metric
+{
+  public:
+    explicit Counter(std::string name)
+        : Metric(std::move(name), MetricKind::Counter)
+    {
+    }
+
+    void inc(std::uint64_t n = 1) { v_ += n; }
+    Counter &operator++() { ++v_; return *this; }
+    std::uint64_t operator++(int) { return v_++; }
+    Counter &operator+=(std::uint64_t n) { v_ += n; return *this; }
+};
+
+/** High-water mark; aggregates by max across instances. */
+class Gauge : public Metric
+{
+  public:
+    explicit Gauge(std::string name)
+        : Metric(std::move(name), MetricKind::Gauge)
+    {
+    }
+
+    void set(std::uint64_t v) { v_ = v; }
+
+    /** Raise the mark to @p v if it is higher. */
+    void
+    observe(std::uint64_t v)
+    {
+        if (v > v_)
+            v_ = v;
+    }
+};
+
+/**
+ * The process-wide metric table. Metrics self-register on
+ * construction and retire their final value on destruction, so
+ * snapshot() reflects everything that ever incremented — including
+ * counters owned by simulator worlds that have since been torn down
+ * (benches build and destroy a World per sweep point).
+ */
+class Registry
+{
+  public:
+    /** The singleton every Counter/Gauge registers with. */
+    static Registry &global();
+
+    /** Aggregated value of @p name (0 if never registered). */
+    std::uint64_t value(const std::string &name) const;
+
+    /** All (name, aggregated value) pairs, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> all() const;
+
+    /**
+     * Dump every metric into a two-column table ("counter",
+     * "value"), sorted by name — feed straight to
+     * stats::JsonReport::add("counters", ...).
+     */
+    stats::Table snapshot() const;
+
+    /** Zero all live metrics and drop all retired totals. */
+    void reset();
+
+    /** Number of live metric instances (tests). */
+    std::size_t liveCount() const { return live_.size(); }
+
+  private:
+    friend class Metric;
+
+    void add(Metric *m);
+    void remove(Metric *m);
+
+    /** Per-name accumulation of destroyed instances. */
+    struct Retired
+    {
+        MetricKind kind = MetricKind::Counter;
+        std::uint64_t value = 0;
+    };
+
+    std::vector<Metric *> live_;
+    std::map<std::string, Retired> retired_;
+};
+
+} // namespace ccn::obs
+
+#endif // CCN_OBS_OBS_HH

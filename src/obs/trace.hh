@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bounded event trace with Chrome-trace-format and JSON export.
+ *
+ * Tracepoints record typed events — coherence transitions, ring
+ * signal reads/writes, transport retransmits and stalls, link drops —
+ * into a fixed-capacity ring buffer. When the buffer fills, the
+ * oldest events are overwritten and counted as dropped, so tracing is
+ * safe to leave wired into hot paths of arbitrarily long runs.
+ *
+ * Tracing is *off* by default: a disabled tracepoint costs one
+ * branch on a bool. Enable with Trace::global().enable(capacity),
+ * run the workload, then export:
+ *
+ *  - chromeJson(): Chrome trace event format ("catapult"); load the
+ *    string into chrome://tracing or https://ui.perfetto.dev. Each
+ *    event is an instant event ("ph":"i") with ts in microseconds of
+ *    simulated time and the event argument attached under args.
+ *  - json(): plain array-of-objects with raw tick values, for
+ *    scripted analysis.
+ */
+
+#ifndef CCN_OBS_TRACE_HH
+#define CCN_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace ccn::obs {
+
+/** Typed tracepoint categories. */
+enum class EventKind : std::uint8_t
+{
+    CoherenceRemoteRead, ///< Line read served across the interconnect.
+    CoherenceRemoteRfo,  ///< Ownership transfer across the interconnect.
+    CoherenceMigratory,  ///< Migratory read handed off dirty ownership.
+    RingSignalRead,      ///< Consumer polled a ring/register signal line.
+    RingSignalWrite,     ///< Producer published a ring/register signal.
+    RingDoorbell,        ///< MMIO doorbell write (PCIe baseline path).
+    TransportRetransmit, ///< Timeout or fast retransmission.
+    TransportStall,      ///< send() blocked on window/credit.
+    TransportTimeout,    ///< RTO expired.
+    TransportAbort,      ///< Connection gave up.
+    LinkDrop,            ///< Tail-drop, fault drop, or dark-link drop.
+    PoolExhausted,       ///< Mempool alloc had to wait.
+    Custom,              ///< Anything else (see name).
+};
+
+/** Human-readable category label (Chrome trace "cat" field). */
+const char *eventKindName(EventKind k);
+
+/** One recorded tracepoint hit. */
+struct TraceEvent
+{
+    sim::Tick tick = 0;   ///< Simulated time of the event.
+    EventKind kind = EventKind::Custom;
+    const char *name = ""; ///< Static label (site identity).
+    std::uint64_t arg = 0; ///< Site-defined (seq, address, bytes...).
+};
+
+/** The process-wide bounded trace ring. */
+class Trace
+{
+  public:
+    static Trace &global();
+
+    /** Start recording into a ring of @p capacity events. */
+    void enable(std::size_t capacity = 1 << 16);
+
+    /** Stop recording (recorded events are kept until clear()). */
+    void disable() { enabled_ = false; }
+
+    bool enabled() const { return enabled_; }
+
+    /** Record one event (no-op unless enabled). */
+    void
+    record(EventKind kind, const char *name, sim::Tick tick,
+           std::uint64_t arg = 0)
+    {
+        if (!enabled_)
+            return;
+        ring_[head_] = TraceEvent{tick, kind, name, arg};
+        head_ = (head_ + 1) % ring_.size();
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    /** Events currently held (≤ capacity). */
+    std::size_t size() const { return size_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Oldest-first copy of the retained events. */
+    std::vector<TraceEvent> events() const;
+
+    /** Chrome trace event format (open in chrome://tracing). */
+    std::string chromeJson() const;
+
+    /** Plain JSON array of {tick, kind, name, arg} objects. */
+    std::string json() const;
+
+    /** Drop all recorded events (capacity and state unchanged). */
+    void clear();
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0; ///< Next write position.
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Record a tracepoint hit. The disabled-fast-path check is inlined
+ * here so instrumented hot paths pay one predictable branch.
+ */
+inline void
+tracepoint(EventKind kind, const char *name, sim::Tick tick,
+           std::uint64_t arg = 0)
+{
+    Trace &t = Trace::global();
+    if (t.enabled())
+        t.record(kind, name, tick, arg);
+}
+
+} // namespace ccn::obs
+
+#endif // CCN_OBS_TRACE_HH

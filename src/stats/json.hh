@@ -18,6 +18,7 @@
 #define CCN_STATS_JSON_HH
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -56,14 +57,55 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** Emit a cell: as a bare number when it parses as one. */
+/**
+ * True when @p s is a syntactically valid JSON number. strtod alone
+ * is not enough: it also accepts "inf", "nan", hex floats, and a
+ * leading '+', none of which are legal bare JSON tokens.
+ */
+inline bool
+jsonNumberSyntax(const std::string &s)
+{
+    std::size_t i = 0;
+    const std::size_t n = s.size();
+    auto digits = [&] {
+        std::size_t start = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        return i > start;
+    };
+    if (i < n && s[i] == '-')
+        ++i;
+    if (!digits())
+        return false;
+    if (i < n && s[i] == '.') {
+        ++i;
+        if (!digits())
+            return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < n && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        if (!digits())
+            return false;
+    }
+    return i == n;
+}
+
+/**
+ * Emit a cell: as a bare number when it parses as one. Non-finite
+ * values are quoted — "inf"/"nan" cells fail the syntax check, and a
+ * token like "1e999" is a valid JSON *literal* but overflows every
+ * consumer's double, so it is quoted too rather than round-tripping
+ * as Infinity.
+ */
 inline std::string
 jsonCell(const std::string &cell)
 {
-    if (!cell.empty()) {
+    if (!cell.empty() && jsonNumberSyntax(cell)) {
         char *end = nullptr;
-        std::strtod(cell.c_str(), &end);
-        if (end == cell.c_str() + cell.size())
+        const double v = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str() + cell.size() && std::isfinite(v))
             return cell;
     }
     return "\"" + jsonEscape(cell) + "\"";

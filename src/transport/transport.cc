@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace ccn::transport {
 
 using driver::kTpAck;
@@ -17,8 +19,11 @@ using sim::Tick;
 // Connection
 
 Connection::Connection(Endpoint &ep, std::uint32_t local_id)
-    : ep_(ep), localId_(local_id), rto_(ep.cfg_.initialRto),
-      sendGate_(ep.sim_), rxGate_(ep.sim_)
+    : ep_(ep), localId_(local_id),
+      sndUna_(ep.cfg_.initialSeq), sndNext_(ep.cfg_.initialSeq),
+      windowLimit_(ep.cfg_.initialSeq), rto_(ep.cfg_.initialRto),
+      sendGate_(ep.sim_), rcvNext_(ep.cfg_.initialSeq),
+      rxGate_(ep.sim_)
 {}
 
 bool
@@ -26,7 +31,7 @@ Connection::canSend() const
 {
     return state_ == State::Open &&
            sndNext_ - sndUna_ < ep_.cfg_.window &&
-           sndNext_ < windowLimit_;
+           seqLt(sndNext_, windowLimit_);
 }
 
 std::uint16_t
@@ -83,6 +88,8 @@ Connection::send(std::uint32_t len, std::uint64_t user_data,
         if (canSend())
             break;
         ep_.stats_.windowStalls++;
+        obs::tracepoint(obs::EventKind::TransportStall, "send.window",
+                        ep_.sim_.now(), sndNext_);
         co_await sendGate_.wait();
     }
 
@@ -294,7 +301,9 @@ Endpoint::handleSynAck(const TransportHeader &h, std::uint32_t src)
     if (c->state_ != Connection::State::Connecting)
         return; // Duplicate SYN-ACK.
     c->peerConn_ = h.srcConn;
-    c->windowLimit_ = std::max(c->windowLimit_, h.ack + h.credits);
+    if (const std::uint32_t limit = h.ack + h.credits;
+        seqGt(limit, c->windowLimit_))
+        c->windowLimit_ = limit;
     c->state_ = Connection::State::Open;
     c->retries_ = 0;
     c->rtxDeadline_ = sim::kTickMax;
@@ -307,9 +316,9 @@ Endpoint::processAck(Connection &c, const TransportHeader &h)
     const Tick now = sim_.now();
     bool progress = false;
 
-    if (h.ack > c.sndUna_) {
+    if (seqGt(h.ack, c.sndUna_)) {
         for (auto it = c.unacked_.begin();
-             it != c.unacked_.end() && it->first < h.ack;) {
+             it != c.unacked_.end() && seqLt(it->first, h.ack);) {
             if (!it->second.retransmitted)
                 c.rttSample(now - it->second.sentAt);
             it = c.unacked_.erase(it);
@@ -336,8 +345,11 @@ Endpoint::processAck(Connection &c, const TransportHeader &h)
             it->second.sacked = true;
     }
 
+    // Serial compare: a raw uint32_t '>' wedges the window shut once
+    // ack + credits wraps past zero while windowLimit_ is still near
+    // UINT32_MAX.
     const std::uint32_t limit = h.ack + h.credits;
-    if (limit > c.windowLimit_) {
+    if (seqGt(limit, c.windowLimit_)) {
         c.windowLimit_ = limit;
         progress = true;
     }
@@ -356,7 +368,7 @@ Endpoint::handleData(Connection &c, const TransportHeader &h,
                      const Segment &seg)
 {
     const std::uint32_t seq = h.seq;
-    if (seq < c.rcvNext_ || c.oord_.count(seq)) {
+    if (seqLt(seq, c.rcvNext_) || c.oord_.count(seq)) {
         stats_.dupsReceived++; // Retransmit overlap: re-ack below.
     } else if (seq - c.rcvNext_ >= cfg_.window) {
         // Beyond our advertised buffer; the ack below re-states it.
@@ -444,6 +456,9 @@ Endpoint::retransmitFirst(Connection &c, bool fast)
             stats_.fastRetransmits++;
         else
             stats_.retransmits++;
+        obs::tracepoint(obs::EventKind::TransportRetransmit,
+                        fast ? "rtx.fast" : "rtx.timeout", sim_.now(),
+                        seq);
         // Copy before suspending: the entry may be acked away while
         // the retransmission works through the driver.
         const std::uint32_t rseq = seq;
@@ -487,6 +502,8 @@ Endpoint::onTimer(Connection &c)
         co_return;
     }
     stats_.timeouts++;
+    obs::tracepoint(obs::EventKind::TransportTimeout, "rto",
+                    sim_.now(), c.sndUna_);
     c.rto_ = std::min(c.rto_ * 2, cfg_.maxRto);
     c.rtxDeadline_ = now + c.rto_;
     co_await retransmitFirst(c, false);
@@ -500,6 +517,8 @@ Endpoint::abort(Connection &c, bool send_rst)
         co_return;
     c.state_ = Connection::State::Error;
     stats_.aborts++;
+    obs::tracepoint(obs::EventKind::TransportAbort, "abort",
+                    sim_.now(), c.localId_);
     c.sendGate_.notifyAll();
     c.rxGate_.notifyAll();
     if (send_rst && c.peerConn_ != 0)

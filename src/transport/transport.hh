@@ -49,11 +49,45 @@
 
 #include "driver/nic_iface.hh"
 #include "mem/coherence.hh"
+#include "obs/obs.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
 
 namespace ccn::transport {
+
+/// @name RFC 1982-style serial-number arithmetic.
+/// Sequence numbers live in a 32-bit circular space; magnitude
+/// comparison breaks at the wrap (e.g. seq 3 is *after* seq
+/// 0xFFFFFFFE). As long as compared values are within 2^31 of each
+/// other — guaranteed here by the ≤64-segment window — the sign of
+/// the wrapped difference gives the circular order.
+/// @{
+constexpr bool
+seqLt(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) < 0;
+}
+
+constexpr bool
+seqGt(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) > 0;
+}
+
+constexpr bool seqLeq(std::uint32_t a, std::uint32_t b) { return !seqGt(a, b); }
+constexpr bool seqGeq(std::uint32_t a, std::uint32_t b) { return !seqLt(a, b); }
+
+/** Map comparator ordering sequence numbers circularly. */
+struct SeqLess
+{
+    bool
+    operator()(std::uint32_t a, std::uint32_t b) const
+    {
+        return seqLt(a, b);
+    }
+};
+/// @}
 
 /** Transport tuning knobs. */
 struct TransportConfig
@@ -76,22 +110,37 @@ struct TransportConfig
     int maxRetries = 10;
 
     std::uint32_t ackBytes = 16; ///< Wire size of a pure ACK frame.
+
+    /// Initial sequence number for both directions of every
+    /// connection (both endpoints must agree — the handshake does not
+    /// negotiate an ISN). A test/debug knob: start near UINT32_MAX to
+    /// exercise sequence wraparound immediately.
+    std::uint32_t initialSeq = 0;
 };
 
-/** Endpoint-wide counters (all connections combined). */
+/**
+ * Endpoint-wide counters (all connections combined). Registry-backed:
+ * every instance also contributes to the process-wide obs metrics of
+ * the same names, which benches dump into their "counters" section.
+ */
 struct TransportStats
 {
-    std::uint64_t dataSent = 0;        ///< First transmissions.
-    std::uint64_t retransmits = 0;     ///< Timeout retransmissions.
-    std::uint64_t fastRetransmits = 0; ///< Dup-ack retransmissions.
-    std::uint64_t acksSent = 0;        ///< Pure ACK frames.
-    std::uint64_t dataDelivered = 0;   ///< Segments handed to apps.
-    std::uint64_t dupsReceived = 0;    ///< Duplicate data suppressed.
-    std::uint64_t outOfOrder = 0;      ///< Segments buffered early.
-    std::uint64_t windowStalls = 0;    ///< send() had to wait.
-    std::uint64_t timeouts = 0;        ///< RTO expirations.
-    std::uint64_t aborts = 0;          ///< Connections errored out.
-    std::uint64_t orphanPackets = 0;   ///< No matching connection.
+    obs::Counter dataSent{"transport.data_sent"};   ///< First transmissions.
+    obs::Counter retransmits{"transport.retransmits"}; ///< Timeout rtx.
+    obs::Counter fastRetransmits{
+        "transport.fast_retransmits"};              ///< Dup-ack rtx.
+    obs::Counter acksSent{"transport.acks_sent"};   ///< Pure ACK frames.
+    obs::Counter dataDelivered{
+        "transport.data_delivered"};                ///< Handed to apps.
+    obs::Counter dupsReceived{
+        "transport.dups_received"};                 ///< Duplicates dropped.
+    obs::Counter outOfOrder{"transport.out_of_order"}; ///< Buffered early.
+    obs::Counter windowStalls{
+        "transport.window_stalls"};                 ///< send() had to wait.
+    obs::Counter timeouts{"transport.timeouts"};    ///< RTO expirations.
+    obs::Counter aborts{"transport.aborts"};        ///< Connections errored.
+    obs::Counter orphanPackets{
+        "transport.orphan_packets"};                ///< No matching conn.
 };
 
 /** One application-visible message. */
@@ -179,8 +228,8 @@ class Connection
     // Sender.
     std::uint32_t sndUna_ = 0;  ///< Oldest unacked seq.
     std::uint32_t sndNext_ = 0; ///< Next seq to assign.
-    std::map<std::uint32_t, Unacked> unacked_;
-    std::uint32_t windowLimit_ = 0; ///< ack + credits (monotone max).
+    std::map<std::uint32_t, Unacked, SeqLess> unacked_;
+    std::uint32_t windowLimit_ = 0; ///< ack + credits (serial max).
     std::uint32_t dupAcks_ = 0;
     sim::Tick rto_;
     sim::Tick rtxDeadline_ = sim::kTickMax;
@@ -191,7 +240,7 @@ class Connection
 
     // Receiver.
     std::uint32_t rcvNext_ = 0; ///< Next expected seq.
-    std::map<std::uint32_t, Segment> oord_; ///< Early segments.
+    std::map<std::uint32_t, Segment, SeqLess> oord_; ///< Early segments.
     std::deque<Segment> rxq_; ///< In-order, undelivered segments.
     sim::Gate rxGate_;
     bool advertisedZero_ = false; ///< Must send a window update.

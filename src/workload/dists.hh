@@ -46,7 +46,11 @@ class ZipfSampler
     std::uint64_t
     sample(sim::Rng &rng) const
     {
-        const double u = rng.uniform();
+        // The final CDF entry is 1.0 only up to rounding; clamp u
+        // below 1.0 so a draw past the accumulated sum still maps to
+        // the last key instead of walking off the table.
+        const double u =
+            std::min(rng.uniform(), std::nextafter(1.0, 0.0));
         // Binary search for the first CDF entry >= u.
         std::size_t lo = 0, hi = cdf_.size() - 1;
         while (lo < hi) {
@@ -113,7 +117,10 @@ class SizeDist
             }
             u -= b.weight;
         }
-        return bands_.back().hi;
+        // Floating-point underflow in the weight subtraction can fall
+        // through all bands; hi is an *exclusive* bound, so return the
+        // largest in-band size.
+        return bands_.back().hi - 1;
     }
 
     double

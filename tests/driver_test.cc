@@ -221,4 +221,36 @@ TEST(DescRing, SlotsHoldLogicalState)
     EXPECT_TRUE(ring.slot(21).ready);
 }
 
+TEST(DescRing, RoundUpPow2)
+{
+    using driver::DescRing;
+    EXPECT_EQ(DescRing::roundUpPow2(0), 1u);
+    EXPECT_EQ(DescRing::roundUpPow2(1), 1u);
+    EXPECT_EQ(DescRing::roundUpPow2(2), 2u);
+    EXPECT_EQ(DescRing::roundUpPow2(3), 4u);
+    EXPECT_EQ(DescRing::roundUpPow2(48), 64u);
+    EXPECT_EQ(DescRing::roundUpPow2(512), 512u);
+    EXPECT_EQ(DescRing::roundUpPow2(513), 1024u);
+    EXPECT_EQ(DescRing::roundUpPow2(1u << 31), 1u << 31);
+}
+
+// Regression: the ring wraps indices by masking with entries-1, which
+// silently aliased distinct slots whenever a non-power-of-two size was
+// requested (e.g. 48 -> mask 47 = 0b101111 maps 16 and 0 together).
+// The ring now rounds the requested size up instead.
+TEST(DescRing, NonPowerOfTwoSizeIsRoundedUp)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, mem::icxConfig());
+    driver::DescRing ring(m, 0, 48, driver::RingLayout::Grouped);
+    EXPECT_EQ(ring.entries(), 64u);
+    EXPECT_EQ(ring.mask(), 63u);
+    // No two in-range indices may share a slot.
+    for (std::uint32_t i = 1; i < ring.entries(); ++i)
+        EXPECT_NE(&ring.slot(i), &ring.slot(0)) << "aliased at " << i;
+    // Wrapping lands exactly one period later.
+    EXPECT_EQ(&ring.slot(ring.entries()), &ring.slot(0));
+    EXPECT_EQ(&ring.slot(ring.entries() + 5), &ring.slot(5));
+}
+
 } // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the obs telemetry registry and trace ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/obs.hh"
+#include "obs/trace.hh"
+
+namespace obs = ccn::obs;
+
+namespace {
+
+/** Reset the global registry/trace around each test. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::Registry::global().reset();
+        obs::Trace::global().disable();
+        obs::Trace::global().clear();
+    }
+
+    void TearDown() override
+    {
+        obs::Registry::global().reset();
+        obs::Trace::global().disable();
+        obs::Trace::global().clear();
+    }
+};
+
+TEST_F(ObsTest, CounterRegistersAndCounts)
+{
+    obs::Counter c("test.events");
+    EXPECT_EQ(obs::Registry::global().value("test.events"), 0u);
+    c.inc();
+    c += 4;
+    ++c;
+    c++;
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_EQ(obs::Registry::global().value("test.events"), 7u);
+}
+
+TEST_F(ObsTest, SameNamedCountersSum)
+{
+    obs::Counter a("test.shared");
+    obs::Counter b("test.shared");
+    a.inc(10);
+    b.inc(5);
+    EXPECT_EQ(obs::Registry::global().value("test.shared"), 15u);
+}
+
+TEST_F(ObsTest, DestroyedCounterRetiresItsTotal)
+{
+    {
+        obs::Counter c("test.retired");
+        c.inc(42);
+    }
+    // The instance is gone, but the registry keeps its contribution —
+    // benches destroy whole simulated worlds between sweep points.
+    EXPECT_EQ(obs::Registry::global().value("test.retired"), 42u);
+
+    obs::Counter again("test.retired");
+    again.inc(8);
+    EXPECT_EQ(obs::Registry::global().value("test.retired"), 50u);
+}
+
+TEST_F(ObsTest, GaugeAggregatesByMax)
+{
+    obs::Gauge a("test.depth");
+    obs::Gauge b("test.depth");
+    a.observe(3);
+    a.observe(2); // Lower than the current mark: ignored.
+    b.observe(9);
+    EXPECT_EQ(a.value(), 3u);
+    EXPECT_EQ(obs::Registry::global().value("test.depth"), 9u);
+
+    { obs::Gauge c("test.depth"); c.set(20); }
+    EXPECT_EQ(obs::Registry::global().value("test.depth"), 20u);
+}
+
+TEST_F(ObsTest, SnapshotProducesSortedTable)
+{
+    obs::Counter b("test.bbb");
+    obs::Counter a("test.aaa");
+    a.inc(1);
+    b.inc(2);
+    const ccn::stats::Table t = obs::Registry::global().snapshot();
+    ASSERT_EQ(t.headers().size(), 2u);
+    EXPECT_EQ(t.headers()[0], "counter");
+    EXPECT_EQ(t.headers()[1], "value");
+    ASSERT_EQ(t.rows().size(), 2u);
+    EXPECT_EQ(t.rows()[0][0], "test.aaa");
+    EXPECT_EQ(t.rows()[0][1], "1");
+    EXPECT_EQ(t.rows()[1][0], "test.bbb");
+    EXPECT_EQ(t.rows()[1][1], "2");
+}
+
+TEST_F(ObsTest, ResetZeroesLiveAndDropsRetired)
+{
+    obs::Counter live("test.live");
+    live.inc(5);
+    { obs::Counter dead("test.dead"); dead.inc(7); }
+    obs::Registry::global().reset();
+    EXPECT_EQ(obs::Registry::global().value("test.live"), 0u);
+    EXPECT_EQ(obs::Registry::global().value("test.dead"), 0u);
+    live.inc(1);
+    EXPECT_EQ(obs::Registry::global().value("test.live"), 1u);
+}
+
+TEST_F(ObsTest, DisabledTracepointRecordsNothing)
+{
+    obs::tracepoint(obs::EventKind::LinkDrop, "t", 100, 1);
+    EXPECT_EQ(obs::Trace::global().size(), 0u);
+}
+
+TEST_F(ObsTest, TraceRecordsTypedEventsInOrder)
+{
+    obs::Trace &tr = obs::Trace::global();
+    tr.enable(8);
+    obs::tracepoint(obs::EventKind::RingSignalRead, "sig", 10, 0xA0);
+    obs::tracepoint(obs::EventKind::TransportRetransmit, "rtx", 20, 7);
+    ASSERT_EQ(tr.size(), 2u);
+    const auto ev = tr.events();
+    EXPECT_EQ(ev[0].tick, 10u);
+    EXPECT_EQ(ev[0].kind, obs::EventKind::RingSignalRead);
+    EXPECT_STREQ(ev[0].name, "sig");
+    EXPECT_EQ(ev[0].arg, 0xA0u);
+    EXPECT_EQ(ev[1].tick, 20u);
+    EXPECT_EQ(ev[1].kind, obs::EventKind::TransportRetransmit);
+}
+
+TEST_F(ObsTest, TraceRingIsBoundedAndCountsDrops)
+{
+    obs::Trace &tr = obs::Trace::global();
+    tr.enable(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        obs::tracepoint(obs::EventKind::Custom, "e", i, i);
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.dropped(), 6u);
+    const auto ev = tr.events();
+    // Oldest events were overwritten; the last four remain, in order.
+    ASSERT_EQ(ev.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ev[i].tick, 6 + i);
+}
+
+TEST_F(ObsTest, ChromeJsonIsWellFormed)
+{
+    obs::Trace &tr = obs::Trace::global();
+    tr.enable(8);
+    obs::tracepoint(obs::EventKind::LinkDrop, "link.tail_drop",
+                    ccn::sim::fromNs(1500.0), 64);
+    const std::string s = tr.chromeJson();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(s.find("\"link.tail_drop\""), std::string::npos);
+    EXPECT_NE(s.find("\"link.drop\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"i\""), std::string::npos);
+    // Balanced braces/brackets (cheap structural sanity check).
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+    EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+              std::count(s.begin(), s.end(), ']'));
+}
+
+TEST_F(ObsTest, PlainJsonListsEveryEvent)
+{
+    obs::Trace &tr = obs::Trace::global();
+    tr.enable(8);
+    obs::tracepoint(obs::EventKind::PoolExhausted, "alloc.short", 7, 3);
+    const std::string s = tr.json();
+    EXPECT_NE(s.find("\"tick\":7"), std::string::npos);
+    EXPECT_NE(s.find("\"pool.exhausted\""), std::string::npos);
+    EXPECT_NE(s.find("\"arg\":3"), std::string::npos);
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 
 #include "sim/random.hh"
 #include "stats/histogram.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 
 namespace {
@@ -147,6 +148,67 @@ TEST(Table, AlignsAndPrints)
     for (char ch : out)
         newlines += ch == '\n';
     EXPECT_EQ(newlines, 4);
+}
+
+TEST(Json, NumericCellsStayBare)
+{
+    using ccn::stats::jsonCell;
+    EXPECT_EQ(jsonCell("0"), "0");
+    EXPECT_EQ(jsonCell("-17"), "-17");
+    EXPECT_EQ(jsonCell("3.25"), "3.25");
+    EXPECT_EQ(jsonCell("1e10"), "1e10");
+    EXPECT_EQ(jsonCell("2.5E-3"), "2.5E-3");
+}
+
+// Regression: strtod accepts "inf"/"nan" (and friends), which a bench
+// produces for e.g. a rate over a zero-length interval; emitting them
+// bare yields invalid JSON that chokes every downstream parser.
+TEST(Json, NonFiniteCellsAreQuoted)
+{
+    using ccn::stats::jsonCell;
+    EXPECT_EQ(jsonCell("inf"), "\"inf\"");
+    EXPECT_EQ(jsonCell("-inf"), "\"-inf\"");
+    EXPECT_EQ(jsonCell("Inf"), "\"Inf\"");
+    EXPECT_EQ(jsonCell("infinity"), "\"infinity\"");
+    EXPECT_EQ(jsonCell("nan"), "\"nan\"");
+    EXPECT_EQ(jsonCell("-nan"), "\"-nan\"");
+    EXPECT_EQ(jsonCell("NaN"), "\"NaN\"");
+}
+
+// "1e999" is valid JSON *grammar* but overflows double in every
+// consumer (Python json turns it into Infinity); quote it. Hex floats
+// and leading '+' are strtod-isms that are not JSON at all.
+TEST(Json, OverflowAndStrtodExtensionsAreQuoted)
+{
+    using ccn::stats::jsonCell;
+    EXPECT_EQ(jsonCell("1e999"), "\"1e999\"");
+    EXPECT_EQ(jsonCell("-1e999"), "\"-1e999\"");
+    EXPECT_EQ(jsonCell("0x1p3"), "\"0x1p3\"");
+    EXPECT_EQ(jsonCell("0x10"), "\"0x10\"");
+    EXPECT_EQ(jsonCell("+5"), "\"+5\"");
+    EXPECT_EQ(jsonCell(".5"), "\".5\"");
+    EXPECT_EQ(jsonCell("5."), "\"5.\"");
+    EXPECT_EQ(jsonCell(""), "\"\"");
+}
+
+// End-to-end repro: a table containing an inf cell must still render
+// a report that is machine-parsable (the cell arrives as a string).
+TEST(Json, ReportWithInfCellIsStillValidJson)
+{
+    Table t({"series", "rate"});
+    t.row().cell("broken").cell("inf");
+    t.row().cell("fine").cell(42.0, 1);
+    ccn::stats::JsonReport rep("selftest");
+    rep.add("numbers", t);
+    const std::string s = rep.str();
+    EXPECT_NE(s.find("\"rate\": \"inf\""), std::string::npos);
+    EXPECT_NE(s.find("\"rate\": 42.0"), std::string::npos);
+    // No bare inf token may survive anywhere in the document.
+    for (std::size_t pos = s.find("inf"); pos != std::string::npos;
+         pos = s.find("inf", pos + 1)) {
+        ASSERT_GT(pos, 0u);
+        EXPECT_EQ(s[pos - 1], '"');
+    }
 }
 
 } // namespace

@@ -337,4 +337,84 @@ TEST(Transport, LossyFlappingKvRunLosesNoRequests)
     EXPECT_GT(sc.faultDrops + sc.downDrops, 0u);
 }
 
+TEST(Transport, SerialArithmeticOrdersAcrossWrap)
+{
+    using transport::seqGeq;
+    using transport::seqGt;
+    using transport::seqLeq;
+    using transport::seqLt;
+    constexpr std::uint32_t m = UINT32_MAX;
+    // Plain ordering away from the wrap point.
+    static_assert(seqLt(1, 2) && seqGt(2, 1));
+    static_assert(seqLeq(2, 2) && seqGeq(2, 2));
+    // Across the wrap: m precedes 0, 0 precedes 5.
+    static_assert(seqLt(m, 0) && seqLt(m - 3, 2));
+    static_assert(seqGt(4, m - 4));
+    // Raw comparison gets these exactly backwards.
+    EXPECT_TRUE(seqLt(m, 0));
+    EXPECT_FALSE(m < 0u);
+    EXPECT_TRUE(seqGt(3, m - 2));
+}
+
+// Regression: the window-limit and ack comparisons used raw uint32_t
+// ordering, so a connection whose sequence space crossed 2^32 wedged —
+// the computed limit (a small wrapped number) never appeared to exceed
+// the old limit (a huge near-UINT32_MAX number), and the window froze
+// shut. Start the sequence space 8 segments shy of the wrap and push
+// 64 segments through it.
+TEST(Transport, SequenceWraparoundKeepsWindowMoving)
+{
+    TransportConfig tp;
+    tp.initialSeq = UINT32_MAX - 8;
+    TransportWorld w(21, {}, tp);
+    const sim::Tick until = sim::fromUs(800.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, &got));
+    });
+    Connection *conn = nullptr;
+    int accepted = 0;
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 64, nullptr, &conn,
+                          &accepted));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    EXPECT_EQ(accepted, 64); // Sender never wedged at the wrap.
+    expectInOrder(got, 64);
+    ASSERT_NE(conn, nullptr);
+    EXPECT_EQ(conn->state(), Connection::State::Open);
+    EXPECT_EQ(w.epA->stats().aborts, 0u);
+    EXPECT_EQ(w.epA->stats().timeouts, 0u);
+}
+
+// Loss recovery must also work while sequence numbers wrap: the
+// retransmission queue and out-of-order map are keyed by serial order.
+TEST(Transport, DropAtWrapBoundaryIsRecovered)
+{
+    TransportConfig tp;
+    tp.initialSeq = UINT32_MAX - 4;
+    TransportWorld w(22, {}, tp);
+    const sim::Tick until = sim::fromUs(800.0);
+    w.epA->start(until);
+    w.epB->start(until);
+
+    std::vector<std::uint64_t> got;
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, &got));
+    });
+    // Drop one data packet just shy of the wrap: its recovery (dup
+    // acks, retransmit, cumulative ack) executes across 2^32.
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 32, [&] {
+        w.fabric->uplinkOf(w.addrA).forceDrop(1);
+    }, nullptr, nullptr));
+    w.simv.run(until + sim::fromUs(10.0));
+
+    expectInOrder(got, 32);
+    const auto &st = w.epA->stats();
+    EXPECT_GE(st.retransmits + st.fastRetransmits, 1u);
+    EXPECT_EQ(st.aborts, 0u);
+}
+
 } // namespace

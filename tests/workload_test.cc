@@ -83,4 +83,33 @@ TEST(SizeDist, GeoMeanLargerThanAds)
               2.5 * workload::SizeDist::ads().mean());
 }
 
+// Regression: the fall-through path (floating-point underflow walking
+// the band weights) returned bands_.back().hi — but hi is an
+// *exclusive* bound, so the 9600B "size" overflowed MTU-sized budget
+// math downstream. Every sample must stay inside [lo, hi).
+TEST(SizeDist, OneMillionSamplesStayInBounds)
+{
+    for (const auto &d : {workload::SizeDist::ads(),
+                          workload::SizeDist::geo()}) {
+        sim::Rng rng(23);
+        for (int i = 0; i < 1000000; ++i) {
+            const std::uint32_t s = d.sample(rng);
+            ASSERT_GE(s, 16u);
+            ASSERT_LT(s, 9600u);
+        }
+    }
+}
+
+// Regression: a uniform draw of exactly 1.0 walked past the last CDF
+// entry (every cdf_[mid] < u), landing the binary search on the last
+// key only by accident of the hi bound; the clamp makes it explicit.
+// Hammer the sampler and check every key is in range.
+TEST(Zipf, SamplesNeverExceedKeySpace)
+{
+    workload::ZipfSampler z(64, 0.99);
+    sim::Rng rng(29);
+    for (int i = 0; i < 1000000; ++i)
+        ASSERT_LT(z.sample(rng), 64u);
+}
+
 } // namespace
