@@ -21,6 +21,7 @@
 #include "bench/common.hh"
 #include "net/fabric.hh"
 #include "stats/json.hh"
+#include "workload/chaos.hh"
 #include "workload/clientserver.hh"
 
 using namespace ccn;
@@ -124,6 +125,10 @@ runLossPoint(double loss_rate, double offered)
     cfg.clientQueues = 2;
     cfg.window = sim::fromUs(250.0);
     cfg.drain = sim::fromUs(2000.0); // Loss recovery needs headroom.
+    // RTT p99 on this fabric reaches ~15-25 us under response bursts;
+    // the default 10 us RTO floor (tuned for loopback RTTs) would fire
+    // spuriously on a loss-free run.
+    cfg.tp.minRto = sim::fromUs(50.0);
 
     LossPoint p;
     p.r = workload::runKvClientServerReliable(
@@ -134,11 +139,68 @@ runLossPoint(double loss_rate, double offered)
     return p;
 }
 
+/** One seeded chaos run: wedges + flaps + loss on 25 Gb/s links. */
+workload::ChaosKvResult
+runChaosPoint(double loss_rate, double offered)
+{
+    const auto plat = mem::icxConfig();
+    sim::Simulator simv;
+    mem::CoherentSystem server_mem(simv, plat);
+    mem::CoherentSystem client_mem(simv, plat);
+    sim::Rng rng_s(11), rng_c(12);
+
+    auto mk = [&](mem::CoherentSystem &m, int queues, sim::Rng &rng) {
+        auto cfg = ccnic::optimizedConfig(queues, 0, plat);
+        cfg.loopback = false;
+        auto nic = std::make_unique<ccnic::CcNic>(simv, m, cfg, 0, 1,
+                                                  rng);
+        nic->start();
+        return nic;
+    };
+    auto server_nic = mk(server_mem, 4, rng_s);
+    auto client_nic = mk(client_mem, 2, rng_c);
+
+    net::Fabric fabric(simv);
+    net::LinkConfig link;
+    link.gbps = 25.0;
+    link.queuePackets = 128;
+    link.faults.dropRate = loss_rate;
+    link.faults.seed = 99;
+    const auto server_addr =
+        fabric.attach("server", net::hooksFor(*server_nic), link);
+    const auto client_addr =
+        fabric.attach("client", net::hooksFor(*client_nic), link);
+
+    workload::ClientServerConfig cfg;
+    cfg.kv.serverThreads = 4;
+    cfg.kv.numObjects = 1u << 16;
+    cfg.kv.sizes = workload::SizeDist::ads();
+    cfg.offeredOps = offered;
+    cfg.clientQueues = 2;
+    cfg.window = sim::fromUs(400.0);
+    cfg.drain = sim::fromUs(3000.0); // Recovery + loss need headroom.
+    cfg.tp.minRto = sim::fromUs(50.0); // Same floor as the loss sweep.
+
+    workload::ChaosConfig chaos;
+    chaos.seed = 0xc4a05ULL;
+    return workload::runKvClientServerChaos(
+        simv, server_mem, *server_nic, client_mem, *client_nic,
+        fabric, server_addr, client_addr, cfg, chaos);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    // The loss-free reliable point runs first: its counter snapshot
+    // ("counters_lossfree") feeds tools/counters_gate.py and must not
+    // include retransmissions provoked by the lossy sweeps below.
+    const auto base = runLossPoint(0.0, 1e6);
+    const auto counters_lossfree = obs::Registry::global().snapshot();
+
     stats::banner("Fabric KV store: client-server throughput vs link "
                   "bandwidth (ICX, 4 server threads)");
     stats::Table t({"link_gbps", "offered_Mops", "served_Mops",
@@ -164,9 +226,7 @@ main()
                      "lost_requests", "srv_port_drops",
                      "cli_port_drops", "srv_tail_drops",
                      "cli_tail_drops"});
-    for (const double loss :
-         {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
-        const auto p = runLossPoint(loss, 1e6);
+    const auto lossRow = [&lt](double loss, const LossPoint &p) {
         lt.row().cell(loss, 3).cell(p.r.achievedMops, 2)
             .cell(p.r.gbpsIn, 2).cell(p.r.rttP50Ns, 0)
             .cell(p.r.rttP99Ns, 0).cell(p.r.retransmits)
@@ -175,13 +235,35 @@ main()
             .cell(p.client.faultDrops + p.client.downDrops)
             .cell(p.server.txDrops + p.server.rxDrops)
             .cell(p.client.txDrops + p.client.rxDrops);
-    }
+    };
+    lossRow(0.0, base);
+    for (const double loss : {0.001, 0.005, 0.01, 0.02, 0.05})
+        lossRow(loss, runLossPoint(loss, 1e6));
     lt.print();
+
+    stats::banner("Chaos mode: NIC wedges + link flaps + loss bursts "
+                  "under 1% wire loss (seeded)");
+    const auto c = runChaosPoint(0.01, 1e6);
+    stats::Table ct({"wedges", "flaps", "bursts", "recoveries",
+                     "device_resets", "recovery_p50_ns",
+                     "recovery_p99_ns", "recovery_max_ns",
+                     "dup_responses", "lost_requests", "leaked_bufs",
+                     "rings_live"});
+    ct.row().cell(c.wedgesInjected).cell(c.flapsInjected)
+        .cell(c.burstsInjected).cell(c.recoveries)
+        .cell(c.deviceResets).cell(c.recoveryP50Ns, 0)
+        .cell(c.recoveryP99Ns, 0).cell(c.recoveryMaxNs, 0)
+        .cell(c.kv.duplicateResponses).cell(c.kv.lostRequests)
+        .cell(c.leakedBufs).cell(c.ringsLive ? 1 : 0);
+    ct.print();
 
     stats::JsonReport json("fabric_kvstore");
     json.add("throughput_vs_bandwidth", t);
     json.add("goodput_vs_loss", lt);
+    json.add("chaos_recovery", ct);
+    json.add("counters_lossfree", counters_lossfree);
     json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
+    opts.finish();
     return 0;
 }

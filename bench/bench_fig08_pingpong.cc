@@ -83,8 +83,9 @@ pingpongNs(const mem::PlatformConfig &plat, int h1, int h2,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::BenchOptions::parse(argc, argv);
     stats::JsonReport json("fig08_pingpong");
     stats::banner("Figure 8: pingpong latency by layout/homing [ns]");
     stats::Table t({"case", "SPR_ns", "ICX_ns", "paper_shape"});
@@ -116,5 +117,6 @@ main()
     json.add("pingpong_latency", t);
     json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
+    opts.finish();
     return 0;
 }

@@ -30,8 +30,9 @@ variant(const char *name, const ccnic::CcNicConfig &cfg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::BenchOptions::parse(argc, argv);
     stats::JsonReport json("fig14_signaling_layout");
     auto spr = mem::sprConfig();
     const int cores = 32;
@@ -70,5 +71,6 @@ main()
     json.add("descriptor_layout", b);
     json.add("counters", ccn::obs::Registry::global().snapshot());
     json.write();
+    opts.finish();
     return 0;
 }

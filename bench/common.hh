@@ -11,6 +11,7 @@
 #ifndef CCN_BENCH_COMMON_HH
 #define CCN_BENCH_COMMON_HH
 
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,10 +20,47 @@
 #include "ccnic/ccnic.hh"
 #include "mem/platform.hh"
 #include "nic/pcie_nic.hh"
+#include "obs/trace.hh"
 #include "stats/table.hh"
 #include "workload/loopback.hh"
 
 namespace ccn::bench {
+
+/**
+ * Command-line options shared by the bench binaries.
+ *
+ * `--trace <file>` enables the global tracepoint ring for the whole
+ * run and writes it as JSON (array of {tick, kind, name, arg}
+ * objects) on finish(); summarize with tools/trace_summary.py.
+ */
+struct BenchOptions
+{
+    std::string traceFile;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions o;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--trace" && i + 1 < argc) {
+                o.traceFile = argv[++i];
+                obs::Trace::global().enable(1 << 18);
+            }
+        }
+        return o;
+    }
+
+    /** Write the accumulated trace if --trace was given. */
+    void
+    finish() const
+    {
+        if (traceFile.empty())
+            return;
+        std::ofstream f(traceFile);
+        f << obs::Trace::global().json() << "\n";
+    }
+};
 
 /** A self-contained simulated world for one measurement point. */
 struct World

@@ -87,7 +87,9 @@ serverThread(sim::Simulator &sim, mem::CoherentSystem &m,
         std::vector<std::uint64_t> keys(nr);
         std::vector<bool> is_get(nr);
         for (int i = 0; i < nr; ++i) {
-            keys[i] = reqs[i]->userData & 0x7fffffffffffffffULL;
+            // Bits 0..31 key, 32..62 caller request-id (opaque here),
+            // bit 63 PUT flag.
+            keys[i] = reqs[i]->userData & 0xffffffffULL;
             is_get[i] = (reqs[i]->userData >> 63) == 0;
             const std::uint64_t bucket =
                 (keys[i] * 0x9e3779b97f4a7c15ULL) & st->indexMask;
@@ -174,7 +176,7 @@ serveConnTask(sim::Simulator &sim, mem::CoherentSystem &m,
         co_await sim.delay(
             m.config().cycles(cfg.parseCycles + cfg.indexCycles));
         const std::uint64_t key =
-            req.userData & 0x7fffffffffffffffULL;
+            req.userData & 0xffffffffULL;
         const bool is_get = (req.userData >> 63) == 0;
         const std::uint64_t bucket =
             (key * 0x9e3779b97f4a7c15ULL) & st->indexMask;

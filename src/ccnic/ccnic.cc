@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace ccn::ccnic {
 
@@ -178,7 +179,7 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
              const CcNicConfig &config, int host_socket, int nic_socket,
              sim::Rng &rng)
     : sim_(sim), mem_(mem_system), cfg_(config),
-      hostSocket_(host_socket), nicSocket_(nic_socket)
+      hostSocket_(host_socket), nicSocket_(nic_socket), runGate_(sim)
 {
     cfg_.pool.homeSocket = host_socket;
     // Ring index arithmetic masks with entries-1, so normalize a
@@ -191,6 +192,11 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
         queues_.push_back(std::make_unique<Queue>(
             sim_, mem_, cfg_, hostSocket_, nicSocket_));
     }
+    // Heartbeat lines are writer-homed like the rings (§3.3): each
+    // side bumps its own line and polls the other's.
+    hostBeat_ =
+        std::make_unique<driver::RegisterLine>(mem_, hostSocket_);
+    nicBeat_ = std::make_unique<driver::RegisterLine>(mem_, nicSocket_);
 }
 
 void
@@ -202,6 +208,7 @@ CcNic::start()
         sim_.spawn(nicTxTask(q));
         sim_.spawn(nicRxTask(q));
     }
+    sim_.spawn(heartbeatTask());
 }
 
 mem::AgentId
@@ -246,6 +253,163 @@ CcNic::injectRx(int q, const WirePacket &pkt)
     queues_[q]->rxInput.put(pkt);
 }
 
+sim::Task
+CcNic::heartbeatTask()
+{
+    for (;;) {
+        co_await sim_.delay(cfg_.beatPeriod);
+        // A wedged or down device goes silent: that silence is the
+        // Watchdog's failure signal, so do not bump the line.
+        if (wedged_ || devState_ != DevState::Running)
+            continue;
+        const mem::AgentId agent = queues_[0]->nicAgent;
+        co_await mem_.store(agent, nicBeat_->addr(), 8);
+        nicBeat_->publish(nicBeat_->value() + 1);
+        heartbeats_++;
+        // Pingpong read of the host's beat line (host-liveness view).
+        co_await mem_.load(agent, hostBeat_->addr(), 8);
+    }
+}
+
+sim::Coro<void>
+CcNic::beatHost()
+{
+    const mem::AgentId agent = queues_[0]->hostAgent;
+    co_await mem_.store(agent, hostBeat_->addr(), 8);
+    hostBeat_->publish(hostBeat_->value() + 1);
+    co_return;
+}
+
+sim::Coro<std::uint64_t>
+CcNic::readDeviceBeat()
+{
+    co_await mem_.load(queues_[0]->hostAgent, nicBeat_->addr(), 8);
+    co_return nicBeat_->value();
+}
+
+driver::QueueHealth
+CcNic::health(int q) const
+{
+    const Queue &queue = *queues_[q];
+    driver::QueueHealth h;
+    h.txSubmitted = queue.txSubmittedTotal;
+    h.txCompleted = queue.txCompletedTotal;
+    h.rxDelivered = queue.rxDeliveredTotal;
+    h.txOutstanding = queue.txProd - queue.txCons;
+    return h;
+}
+
+sim::Coro<void>
+CcNic::quiesce()
+{
+    if (devState_ == DevState::Down)
+        co_return;
+    devState_ = DevState::Quiescing;
+    // Wake parked engines so they observe the state change; engines
+    // blocked on signal lines re-check within one beatPeriod.
+    runGate_.notifyAll();
+    for (auto &qp : queues_)
+        qp->wireDrained.notifyAll();
+    // Refuse new host bursts (devState_ guard) and drain the ones in
+    // flight.
+    while (hostOps_ > 0)
+        co_await sim_.delay(sim::fromNs(100));
+    // Sweep each queue's core lock: once it can be taken, no NIC
+    // engine is mid-batch on that queue.
+    for (auto &qp : queues_) {
+        co_await qp->coreLock.acquire();
+        qp->coreLock.release();
+    }
+    devState_ = DevState::Down;
+    co_return;
+}
+
+sim::Coro<void>
+CcNic::reset()
+{
+    assert(devState_ == DevState::Down);
+    co_await sim_.delay(cfg_.resetLat);
+
+    std::uint64_t reclaimed = 0;
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        Queue &queue = *queues_[q];
+        // Reclaim every ring-owned buffer exactly once. A kConsumed
+        // slot's buffer has already changed hands (inline RX: the app
+        // took it; inline TX: the NIC freed it), so only non-consumed
+        // occupied slots are ring-owned. txShadow may alias TX slots
+        // (host-managed mode stores the buffer in both), so dedup.
+        std::unordered_set<PacketBuf *> uniq;
+        auto sweep = [&uniq](driver::DescRing &ring) {
+            for (std::uint32_t i = 0; i < ring.entries(); ++i) {
+                auto &slot = ring.slot(i);
+                if (slot.buf && slot.meta != kConsumed)
+                    uniq.insert(slot.buf);
+                slot.buf = nullptr;
+                slot.ready = false;
+                slot.meta = kRxEmpty;
+                slot.len = 0;
+            }
+        };
+        sweep(queue.tx);
+        sweep(queue.rx);
+        for (PacketBuf *&b : queue.txShadow) {
+            if (b)
+                uniq.insert(b);
+            b = nullptr;
+        }
+        // Drop wire-side packets queued into the dead device.
+        while (!queue.rxInput.empty())
+            (void)co_await queue.rxInput.get();
+
+        if (!uniq.empty()) {
+            std::vector<PacketBuf *> frees;
+            frees.reserve(uniq.size());
+            for (PacketBuf *b : uniq) {
+                b->nextSeg = nullptr; // Second segments are app memory.
+                frees.push_back(b);
+            }
+            co_await pool_->freeBurst(queue.nicAgent, frees.data(),
+                                      static_cast<int>(frees.size()),
+                                      q);
+            reclaimed += frees.size();
+        }
+
+        // Zero ring positions and signal caches; clear signal lines.
+        queue.txProd = queue.rxCons = queue.rxClearScan = 0;
+        queue.txFreeScan = queue.rxPostProd = 0;
+        queue.txCons = queue.txClearScan = 0;
+        queue.rxProd = queue.rxPostCons = 0;
+        queue.hostTxHeadCache = queue.nicTxTailCache = 0;
+        queue.hostRxTailCache = queue.nicRxHeadCache = 0;
+        queue.txTail.publish(0);
+        queue.txHead.publish(0);
+        queue.rxTail.publish(0);
+        queue.rxHead.publish(0);
+    }
+    // Surface the teardown leak audit through PoolTelemetry: after
+    // reclamation every buffer not held by the application must be
+    // back in the pool.
+    pool_->auditLeaks();
+    resetReclaimed_ += reclaimed;
+    resets_++;
+    obs::tracepoint(obs::EventKind::Custom, "ccnic.reset", sim_.now(),
+                    reclaimed);
+    co_return;
+}
+
+sim::Coro<void>
+CcNic::reinit()
+{
+    assert(devState_ == DevState::Down);
+    co_await sim_.delay(cycles(cfg_.nicCosts.perLoop * 8));
+    wedged_ = false;
+    devState_ = DevState::Running;
+    runGate_.notifyAll();
+    for (auto &qp : queues_)
+        qp->wireDrained.notifyAll();
+    co_return;
+}
+
 sim::Coro<int>
 CcNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs, int count)
 {
@@ -273,6 +437,12 @@ CcNic::freeBufs(int q, PacketBuf **bufs, int count)
 sim::Coro<int>
 CcNic::txBurst(int q, PacketBuf **bufs, int count)
 {
+    // A quiescing/down device refuses bursts (the caller retries, as
+    // against a wedged hardware queue). Checked before the op guard so
+    // quiesce() cannot wait on a burst that would never finish.
+    if (devState_ != DevState::Running)
+        co_return 0;
+    OpScope guard(hostOps_);
     Queue &queue = *queues_[q];
     const auto &costs = cfg_.hostCosts;
     const std::uint32_t per_line = queue.tx.perLine();
@@ -384,6 +554,7 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
     // (and, in register mode, the tail value — TSO orders it after the
     // descriptor stores) become visible at store completion.
     queue.txProd = idx;
+    queue.txSubmittedTotal += pending.size();
     {
         Queue *qp = &queue;
         const bool shadow = !cfg_.nicBufferMgmt;
@@ -427,6 +598,9 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
 sim::Coro<int>
 CcNic::rxBurst(int q, PacketBuf **bufs, int count)
 {
+    if (devState_ != DevState::Running)
+        co_return 0;
+    OpScope guard(hostOps_);
     Queue &queue = *queues_[q];
     const auto &costs = cfg_.hostCosts;
     const std::uint32_t per_line = queue.rx.perLine();
@@ -599,6 +773,8 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
     if (collected > 0) {
         co_await sim_.delay(
             cycles((costs.perPktRx + costs.perDesc) * collected));
+        queue.rxDeliveredTotal += static_cast<std::uint64_t>(collected);
+        rxDelivered_ += static_cast<std::uint64_t>(collected);
     }
     co_return collected;
 }
@@ -612,8 +788,12 @@ CcNic::idleWait(int q, Tick deadline)
         watch = queue.rxTail.addr();
     else
         watch = queue.rx.lineOf(queue.rxCons);
-    co_await mem_.waitLineChangeUntil(watch, mem_.lineVersion(watch),
-                                      deadline);
+    // Bounded like every engine wait: reset() rewinds rxCons to slot 0
+    // and restarts delivery there, so a waiter parked on the old
+    // consumer line would otherwise sleep through the whole recovery.
+    co_await mem_.waitLineChangeUntil(
+        watch, mem_.lineVersion(watch),
+        std::min(deadline, sim_.now() + cfg_.beatPeriod));
     co_return;
 }
 
@@ -625,15 +805,22 @@ CcNic::nicTxTask(int q)
     const std::uint32_t per_line = queue.tx.perLine();
 
     for (;;) {
-        // Wait for work.
+        // Park while wedged or not Running; reinit()/unwedge() wake us.
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
+
+        // Wait for work. Waits are bounded by beatPeriod so a
+        // lifecycle transition is observed promptly even when the host
+        // has gone quiet.
         if (cfg_.signal == SignalMode::Inline) {
             const Addr line = queue.tx.lineOf(queue.txCons);
             noteSignalRead(line);
             co_await mem_.load(queue.nicAgent, line, mem::kLineBytes);
             auto &head = queue.tx.slot(queue.txCons);
             if (!head.ready || head.meta == kConsumed) {
-                co_await mem_.waitLineChange(line,
-                                             mem_.lineVersion(line));
+                co_await mem_.waitLineChangeUntil(
+                    line, mem_.lineVersion(line),
+                    sim_.now() + cfg_.beatPeriod);
                 continue;
             }
         } else {
@@ -645,8 +832,9 @@ CcNic::nicTxTask(int q)
                 queue.nicTxTailCache = queue.txTail.value();
                 if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
                     queue.txCons) {
-                    co_await mem_.waitLineChange(
-                        line, mem_.lineVersion(line));
+                    co_await mem_.waitLineChangeUntil(
+                        line, mem_.lineVersion(line),
+                        sim_.now() + cfg_.beatPeriod);
                     continue;
                 }
             }
@@ -660,8 +848,16 @@ CcNic::nicTxTask(int q)
                    static_cast<std::size_t>(cfg_.nicBatch) * 2) {
             co_await queue.wireDrained.wait();
         }
+        if (wedged_ || devState_ != DevState::Running)
+            continue;
 
         co_await queue.coreLock.acquire();
+        if (wedged_ || devState_ != DevState::Running) {
+            // Lost the race against a lifecycle transition after
+            // deciding to work; never start a batch on a dead device.
+            queue.coreLock.release();
+            continue;
+        }
 
         // Gather a batch of submitted descriptors.
         struct Taken
@@ -755,6 +951,7 @@ CcNic::nicTxTask(int q)
 
         // Signal consumption.
         queue.txCons = idx;
+        queue.txCompletedTotal += batch.size();
         if (cfg_.signal == SignalMode::Inline) {
             std::vector<mem::CoherentSystem::Span> clear_spans;
             Addr last_clear = ~Addr{0};
@@ -835,8 +1032,20 @@ CcNic::nicRxTask(int q)
     const std::uint32_t per_line = queue.rx.perLine();
 
     for (;;) {
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
         WirePacket first = co_await queue.rxInput.get();
-        co_await queue.coreLock.acquire();
+        // Hold the packet across a lifecycle transition: one stale
+        // delivery after a reset is harmless (transport dedups), but
+        // processing on a dead device is not.
+        for (;;) {
+            while (wedged_ || devState_ != DevState::Running)
+                co_await runGate_.wait();
+            co_await queue.coreLock.acquire();
+            if (!wedged_ && devState_ == DevState::Running)
+                break;
+            queue.coreLock.release();
+        }
 
         std::vector<WirePacket> batch{first};
         while (static_cast<int>(batch.size()) < cfg_.nicBatch &&
@@ -872,8 +1081,16 @@ CcNic::nicRxTask(int q)
                     out[want[static_cast<std::size_t>(k)]] = got[k];
             }
 
-            // Wait for ring space if the host is behind.
+            // Wait for ring space if the host is behind. Waits are
+            // bounded so a quiesce (host no longer clearing the ring)
+            // cannot park this engine forever inside the core lock:
+            // once the device leaves Running, abandon the batch.
+            bool abandoned = false;
             while (true) {
+                if (devState_ != DevState::Running) {
+                    abandoned = true;
+                    break;
+                }
                 std::uint32_t needed = 0;
                 for (std::size_t i = 0; i < batch.size(); ++i)
                     needed += out[i] != nullptr;
@@ -886,8 +1103,9 @@ CcNic::nicRxTask(int q)
                     if (!slot.ready)
                         break;
                     const Addr line = queue.rx.lineOf(last_slot);
-                    co_await mem_.waitLineChange(
-                        line, mem_.lineVersion(line));
+                    co_await mem_.waitLineChangeUntil(
+                        line, mem_.lineVersion(line),
+                        sim_.now() + cfg_.beatPeriod);
                 } else {
                     const std::uint32_t space =
                         queue.rx.entries() - 1 -
@@ -905,10 +1123,27 @@ CcNic::nicRxTask(int q)
                              static_cast<std::uint32_t>(
                                  queue.nicRxHeadCache)) <
                         needed) {
-                        co_await mem_.waitLineChange(
-                            line, mem_.lineVersion(line));
+                        co_await mem_.waitLineChangeUntil(
+                            line, mem_.lineVersion(line),
+                            sim_.now() + cfg_.beatPeriod);
                     }
                 }
+            }
+            if (abandoned) {
+                // Return the batch's buffers; the packets are dropped
+                // (the device is going down — peers retransmit).
+                std::vector<PacketBuf *> give;
+                for (PacketBuf *b : out) {
+                    if (b)
+                        give.push_back(b);
+                }
+                if (!give.empty()) {
+                    co_await pool_->freeBurst(
+                        queue.nicAgent, give.data(),
+                        static_cast<int>(give.size()), q);
+                }
+                queue.coreLock.release();
+                continue;
             }
 
             // Write payloads and descriptors together (posted stores).
@@ -987,30 +1222,46 @@ CcNic::nicRxTask(int q)
             std::vector<mem::CoherentSystem::Span> spans;
             Addr last_line = ~Addr{0};
             std::vector<std::pair<std::uint32_t, std::size_t>> placed;
+            bool abandoned = false;
+            std::uint32_t post_idx = queue.rxPostCons;
             for (std::size_t i = 0; i < batch.size(); ++i) {
-                while (queue.rx.slot(queue.rxPostCons).meta !=
-                       kRxPosted) {
-                    const Addr line =
-                        queue.rx.lineOf(queue.rxPostCons);
+                // Bounded waits, as on the CC-NIC path: a host that
+                // stopped posting blanks (quiesce) must not park this
+                // engine inside the core lock.
+                while (queue.rx.slot(post_idx).meta != kRxPosted) {
+                    if (devState_ != DevState::Running) {
+                        abandoned = true;
+                        break;
+                    }
+                    const Addr line = queue.rx.lineOf(post_idx);
                     noteSignalRead(line);
                     co_await mem_.load(queue.nicAgent, line,
                                        mem::kLineBytes);
-                    if (queue.rx.slot(queue.rxPostCons).meta ==
-                        kRxPosted)
+                    if (queue.rx.slot(post_idx).meta == kRxPosted)
                         break;
-                    co_await mem_.waitLineChange(
-                        line, mem_.lineVersion(line));
+                    co_await mem_.waitLineChangeUntil(
+                        line, mem_.lineVersion(line),
+                        sim_.now() + cfg_.beatPeriod);
                 }
-                PacketBuf *b = queue.rx.slot(queue.rxPostCons).buf;
+                if (abandoned)
+                    break;
+                PacketBuf *b = queue.rx.slot(post_idx).buf;
                 spans.push_back({b->addr, batch[i].len});
-                const Addr l = queue.rx.lineOf(queue.rxPostCons);
+                const Addr l = queue.rx.lineOf(post_idx);
                 if (l != last_line) {
                     spans.push_back({l, mem::kLineBytes});
                     last_line = l;
                 }
-                placed.emplace_back(queue.rxPostCons, i);
-                queue.rxPostCons++;
+                placed.emplace_back(post_idx, i);
+                post_idx++;
             }
+            if (abandoned) {
+                // Drop the remaining packets; posted blanks stay in
+                // the ring (reset() reclaims them).
+                queue.coreLock.release();
+                continue;
+            }
+            queue.rxPostCons = post_idx;
             co_await sim_.delay(
                 cycles((costs.perPktTx + costs.perDesc) *
                        static_cast<double>(placed.size())));

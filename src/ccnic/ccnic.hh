@@ -110,6 +110,14 @@ struct CcNicConfig
     bool nicPipelined = true;
     sim::Tick wireLat = 0;    ///< Loopback wire latency.
     bool loopback = true;     ///< TX loops back to the same queue's RX.
+
+    /// Device heartbeat publish period (inlined liveness signal); also
+    /// bounds how long NIC engines park on a signal line before
+    /// re-checking lifecycle state.
+    sim::Tick beatPeriod = sim::fromUs(2.0);
+
+    /// Flat device-reset latency (ring teardown + engine restart).
+    sim::Tick resetLat = sim::fromUs(5.0);
 };
 
 /** The paper's optimized CC-NIC configuration. */
@@ -184,9 +192,41 @@ class CcNic : public driver::NicInterface
     }
     /// @}
 
+    /// @name Device lifecycle (NicInterface overrides).
+    /// @{
+    bool supportsLifecycle() const override { return true; }
+    bool operational() const override
+    {
+        return devState_ == DevState::Running;
+    }
+    sim::Coro<void> beatHost() override;
+    sim::Coro<std::uint64_t> readDeviceBeat() override;
+    driver::QueueHealth health(int q) const override;
+    sim::Coro<void> quiesce() override;
+    sim::Coro<void> reset() override;
+    sim::Coro<void> reinit() override;
+    /// @}
+
+    /// @name Fault injection (chaos harness).
+    /// Wedging freezes the NIC-side engines without telling the
+    /// driver: heartbeats stop and rings stall, which is exactly what
+    /// the Watchdog must detect. reinit() clears the wedge.
+    /// @{
+    void wedge() override { wedged_ = true; }
+    void
+    unwedge()
+    {
+        wedged_ = false;
+        runGate_.notifyAll();
+    }
+    bool wedged() const { return wedged_; }
+    /// @}
+
     mem::AgentId nicAgent(int q) const;
     const CcNicConfig &config() const { return cfg_; }
     driver::Mempool &pool() { return *pool_; }
+
+    std::size_t auditLeaks() override { return pool_->auditLeaks(); }
 
     /** Packets that have crossed TX processing (for reports). */
     std::uint64_t txCount() const { return txCount_; }
@@ -238,10 +278,35 @@ class CcNic : public driver::NicInterface
         sim::Mailbox<WirePacket> rxInput;
         sim::Semaphore coreLock; ///< One NIC core serves both tasks.
         sim::Gate wireDrained;   ///< RX engine drained below cap.
+
+        // Monotonic progress counters (survive resets); the Watchdog
+        // samples these through health() for stall detection.
+        std::uint64_t txSubmittedTotal = 0;
+        std::uint64_t txCompletedTotal = 0;
+        std::uint64_t rxDeliveredTotal = 0;
+    };
+
+    /** Device lifecycle state. */
+    enum class DevState : std::uint8_t
+    {
+        Running,   ///< Normal operation.
+        Quiescing, ///< Draining host and engine operations.
+        Down,      ///< Quiesced; awaiting reset()/reinit().
+    };
+
+    /** RAII host-operation counter (quiesce waits for it to drain). */
+    struct OpScope
+    {
+        int &n;
+        explicit OpScope(int &count) : n(count) { ++n; }
+        ~OpScope() { --n; }
+        OpScope(const OpScope &) = delete;
+        OpScope &operator=(const OpScope &) = delete;
     };
 
     sim::Task nicTxTask(int q);
     sim::Task nicRxTask(int q);
+    sim::Task heartbeatTask();
 
     /// @name Signal telemetry: counts ring-signal reads/publishes and
     /// records tracepoints when tracing is enabled.
@@ -286,7 +351,21 @@ class CcNic : public driver::NicInterface
     obs::Counter rxCrcDrops_{"ccnic.rx_crc_drops"};
     obs::Counter signalReads_{"ccnic.signal_reads"};
     obs::Counter signalWrites_{"ccnic.signal_writes"};
+    obs::Counter rxDelivered_{"ccnic.rx_delivered"};
+    obs::Counter heartbeats_{"ccnic.heartbeats"};
+    obs::Counter resets_{"ccnic.resets"};
+    obs::Counter resetReclaimed_{"ccnic.reset_reclaimed_bufs"};
     bool started_ = false;
+
+    // Lifecycle state. Heartbeat lines follow the same single-line
+    // pingpong discipline as descriptor signals: each direction has
+    // one cache line the writer bumps and the reader polls.
+    DevState devState_ = DevState::Running;
+    bool wedged_ = false;
+    int hostOps_ = 0;        ///< Host bursts in flight (quiesce drain).
+    sim::Gate runGate_;      ///< Parks NIC engines while not Running.
+    std::unique_ptr<driver::RegisterLine> hostBeat_; ///< Host-bumped.
+    std::unique_ptr<driver::RegisterLine> nicBeat_;  ///< NIC-bumped.
 };
 
 } // namespace ccn::ccnic

@@ -286,4 +286,33 @@ Mempool::freeCount(BufClass cls) const
     return n;
 }
 
+std::size_t
+Mempool::recycledCount(BufClass cls) const
+{
+    std::size_t n = 0;
+    for (const auto &[key, rc] : recycle_) {
+        if (static_cast<BufClass>(key & 1) == cls)
+            n += rc.stack.size();
+    }
+    return n;
+}
+
+std::size_t
+Mempool::outstandingCount(BufClass cls) const
+{
+    const std::size_t total = cls == BufClass::Small ? smallBufs_.size()
+                                                     : largeBufs_.size();
+    const std::size_t held = freeCount(cls) + recycledCount(cls);
+    return held >= total ? 0 : total - held;
+}
+
+std::size_t
+Mempool::auditLeaks()
+{
+    const std::size_t leaked = outstandingCount(BufClass::Large) +
+                               outstandingCount(BufClass::Small);
+    telem_.leaked.observe(static_cast<std::uint64_t>(leaked));
+    return leaked;
+}
+
 } // namespace ccn::driver

@@ -44,6 +44,8 @@ struct PoolTelemetry
         "pool.recycle_hits"};            ///< Served from a recycle stack.
     obs::Counter exhausted{
         "pool.exhausted"};               ///< Burst came up short.
+    obs::Gauge leaked{"pool.leaked"};    ///< High-water of buffers
+                                         ///< outstanding at audit time.
 };
 
 /** Pool construction parameters and optimization toggles. */
@@ -107,6 +109,19 @@ class Mempool
 
     /** Buffers currently free (global stacks only; for tests). */
     std::size_t freeCount(BufClass cls) const;
+
+    /** Buffers parked in per-agent recycle stacks for @p cls. */
+    std::size_t recycledCount(BufClass cls) const;
+
+    /** Buffers neither in a global stack nor a recycle stack. */
+    std::size_t outstandingCount(BufClass cls) const;
+
+    /**
+     * Teardown leak audit: total buffers outstanding across both
+     * classes. Records the result in PoolTelemetry::leaked so leaks
+     * surface in registry snapshots; returns the count (0 == clean).
+     */
+    std::size_t auditLeaks();
 
     /** Number of distinct buffers of a class. */
     std::size_t

@@ -11,6 +11,7 @@
 #ifndef CCN_DRIVER_NIC_IFACE_HH
 #define CCN_DRIVER_NIC_IFACE_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "driver/packet.hh"
@@ -32,6 +33,19 @@ struct CpuCosts
     double perPktRx = 30;     ///< Per-packet RX software cost.
     double perDesc = 10;      ///< Descriptor marshalling.
     double perAllocFree = 10; ///< Buffer bookkeeping.
+};
+
+/**
+ * Host-sampled per-queue progress counters, consumed by the driver
+ * Watchdog: a queue whose txCompleted stops advancing while
+ * txOutstanding is nonzero is stalled.
+ */
+struct QueueHealth
+{
+    std::uint64_t txSubmitted = 0;   ///< Descriptors ever submitted.
+    std::uint64_t txCompleted = 0;   ///< Descriptors ever consumed.
+    std::uint64_t rxDelivered = 0;   ///< Packets ever handed to host.
+    std::uint32_t txOutstanding = 0; ///< Submitted minus completed.
 };
 
 /**
@@ -81,6 +95,67 @@ class NicInterface
 
     /** Host CPU cost model for this driver. */
     virtual const CpuCosts &cpuCosts() const = 0;
+
+    // ---- Device lifecycle (failure detection + hot-reset) -------------
+    //
+    // Defaults are benign no-ops so data-plane-only implementations
+    // keep compiling; devices that can wedge and recover override the
+    // full set (see CcNic and PcieNic).
+
+    /** True if this device implements quiesce()/reset()/reinit(). */
+    virtual bool supportsLifecycle() const { return false; }
+
+    /** True while the device is up and processing descriptors. */
+    virtual bool operational() const { return true; }
+
+    /**
+     * Bump the host-side heartbeat line. Called periodically by the
+     * Watchdog; the device observes the line to confirm host liveness.
+     */
+    virtual sim::Coro<void> beatHost() { co_return; }
+
+    /**
+     * Read the device-side heartbeat line. A value that stops
+     * advancing across successive reads means the device is wedged.
+     */
+    virtual sim::Coro<std::uint64_t> readDeviceBeat() { co_return 0; }
+
+    /** Progress counters for queue @p q (monotonic across resets). */
+    virtual QueueHealth health(int q) const
+    {
+        (void)q;
+        return {};
+    }
+
+    /**
+     * Stop accepting new host bursts and wait for in-flight host and
+     * device operations on all queues to drain or park.
+     */
+    virtual sim::Coro<void> quiesce() { co_return; }
+
+    /**
+     * Walk TX/RX rings reclaiming every outstanding buffer back to the
+     * mempool, clear all signal lines, and zero ring positions. Must
+     * be called after quiesce(); leaves the device down.
+     */
+    virtual sim::Coro<void> reset() { co_return; }
+
+    /** Restart queues after reset(); the device resumes processing. */
+    virtual sim::Coro<void> reinit() { co_return; }
+
+    /**
+     * Fault injection (chaos harness): freeze the device engines so
+     * they stop making progress until reinit(). The host side keeps
+     * running — this models a firmware hang, not a host crash.
+     */
+    virtual void wedge() {}
+
+    /**
+     * Teardown leak audit: number of pool buffers allocated but never
+     * returned (directly or via ring reclaim). Publishes the result to
+     * pool telemetry on devices that track it.
+     */
+    virtual std::size_t auditLeaks() { return 0; }
 };
 
 } // namespace ccn::driver

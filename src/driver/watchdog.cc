@@ -1,0 +1,112 @@
+#include "driver/watchdog.hh"
+
+#include "obs/trace.hh"
+
+namespace ccn::driver {
+
+Watchdog::Watchdog(sim::Simulator &sim, NicInterface &nic,
+                   const WatchdogConfig &config)
+    : sim_(sim), nic_(nic), cfg_(config),
+      lastCompleted_(static_cast<std::size_t>(nic.numQueues()), 0),
+      stalledChecks_(static_cast<std::size_t>(nic.numQueues()), 0)
+{
+}
+
+void
+Watchdog::start(sim::Tick run_until)
+{
+    runUntil_ = run_until;
+    sim_.spawn(monitorTask());
+}
+
+sim::Coro<void>
+Watchdog::recover()
+{
+    recovering_ = true;
+    const sim::Tick t0 = sim_.now();
+    obs::tracepoint(obs::EventKind::Custom, "watchdog.recover.begin",
+                    t0, 0);
+    co_await nic_.quiesce();
+    co_await nic_.reset();
+    co_await nic_.reinit();
+    const sim::Tick latency = sim_.now() - t0;
+    recoveryTicks_.record(static_cast<double>(latency));
+    stats_.recoveries++;
+    obs::tracepoint(obs::EventKind::Custom, "watchdog.recover.end",
+                    sim_.now(), latency);
+
+    // Re-baseline detection state so the fresh device is not
+    // immediately re-declared dead.
+    silentChecks_ = 0;
+    lastBeat_ = co_await nic_.readDeviceBeat();
+    for (int q = 0; q < nic_.numQueues(); ++q) {
+        lastCompleted_[static_cast<std::size_t>(q)] =
+            nic_.health(q).txCompleted;
+        stalledChecks_[static_cast<std::size_t>(q)] = 0;
+    }
+    if (recoveredCb_)
+        recoveredCb_(latency);
+    recovering_ = false;
+    co_return;
+}
+
+sim::Task
+Watchdog::monitorTask()
+{
+    while (sim_.now() < runUntil_) {
+        co_await sim_.delay(cfg_.checkInterval);
+        if (sim_.now() >= runUntil_)
+            break;
+        if (recovering_)
+            continue;
+
+        stats_.checks++;
+        co_await nic_.beatHost();
+        const std::uint64_t beat = co_await nic_.readDeviceBeat();
+
+        bool failed = false;
+        FailureKind kind = FailureKind::MissedHeartbeat;
+
+        if (beat == lastBeat_) {
+            stats_.missedBeats++;
+            if (++silentChecks_ >= cfg_.missedBeats)
+                failed = true;
+        } else {
+            silentChecks_ = 0;
+            lastBeat_ = beat;
+        }
+
+        for (int q = 0; q < nic_.numQueues(); ++q) {
+            const QueueHealth h = nic_.health(q);
+            auto qi = static_cast<std::size_t>(q);
+            if (h.txOutstanding > 0 &&
+                h.txCompleted == lastCompleted_[qi]) {
+                if (++stalledChecks_[qi] >= cfg_.stallChecks) {
+                    stats_.ringStalls++;
+                    if (!failed) {
+                        failed = true;
+                        kind = FailureKind::RingStall;
+                    }
+                    stalledChecks_[qi] = 0;
+                }
+            } else {
+                stalledChecks_[qi] = 0;
+            }
+            lastCompleted_[qi] = h.txCompleted;
+        }
+
+        if (failed) {
+            stats_.failures++;
+            obs::tracepoint(obs::EventKind::Custom, "watchdog.failure",
+                            sim_.now(),
+                            static_cast<std::uint64_t>(kind));
+            if (failureCb_)
+                failureCb_(kind);
+            if (cfg_.autoRecover && nic_.supportsLifecycle())
+                co_await recover();
+        }
+    }
+    co_return;
+}
+
+} // namespace ccn::driver

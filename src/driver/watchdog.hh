@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Host-side NIC liveness watchdog.
+ *
+ * Detection uses the same coherent-signaling discipline as the data
+ * plane: liveness is a per-direction heartbeat cache line (host bumps
+ * one, the device bumps the other) read with plain loads, so a healthy
+ * check costs two line transfers — no doorbells, no interrupts. The
+ * watchdog declares failure on either of two signals:
+ *
+ *  - Missed heartbeats: the device beat value has not advanced for
+ *    `missedBeats` consecutive checks.
+ *  - Ring stall: a queue's txCompleted count has not advanced for
+ *    `stallChecks` consecutive checks while descriptors are
+ *    outstanding (head parked with work pending).
+ *
+ * On failure it runs the device lifecycle — quiesce(), reset(),
+ * reinit() — and records the recovery latency. Callbacks let the
+ * transport pause retransmission timers across the outage
+ * (Endpoint::deviceResetBegin/Complete).
+ */
+
+#ifndef CCN_DRIVER_WATCHDOG_HH
+#define CCN_DRIVER_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "driver/nic_iface.hh"
+#include "obs/obs.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+#include "stats/histogram.hh"
+
+namespace ccn::driver {
+
+/** Why the watchdog declared the device failed. */
+enum class FailureKind : std::uint8_t
+{
+    MissedHeartbeat, ///< Device beat line stopped advancing.
+    RingStall,       ///< TX head parked with descriptors outstanding.
+};
+
+/** Watchdog tuning knobs. */
+struct WatchdogConfig
+{
+    sim::Tick checkInterval = sim::fromUs(5.0); ///< Poll period.
+    int missedBeats = 3;  ///< Silent checks before declaring failure.
+    int stallChecks = 4;  ///< Stalled checks before declaring failure.
+    bool autoRecover = true; ///< Run quiesce/reset/reinit on failure.
+};
+
+/** Registry-backed watchdog counters ("watchdog.*"). */
+struct WatchdogStats
+{
+    obs::Counter checks{"watchdog.checks"};
+    obs::Counter missedBeats{"watchdog.missed_beats"};
+    obs::Counter ringStalls{"watchdog.ring_stalls"};
+    obs::Counter failures{"watchdog.failures"};
+    obs::Counter recoveries{"watchdog.recoveries"};
+};
+
+/**
+ * Periodic liveness monitor and recovery driver for one NIC.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(sim::Simulator &sim, NicInterface &nic,
+             const WatchdogConfig &config = {});
+
+    /** Spawn the monitor task; it exits once sim time reaches
+     *  @p run_until. */
+    void start(sim::Tick run_until);
+
+    /**
+     * Run one full recovery cycle (quiesce/reset/reinit) immediately,
+     * independent of detection. Also used internally on detection.
+     */
+    sim::Coro<void> recover();
+
+    /** Invoked when a failure is declared (before any recovery). */
+    void onFailure(std::function<void(FailureKind)> cb)
+    {
+        failureCb_ = std::move(cb);
+    }
+
+    /** Invoked after a recovery completes, with its latency. */
+    void onRecovered(std::function<void(sim::Tick)> cb)
+    {
+        recoveredCb_ = std::move(cb);
+    }
+
+    const WatchdogStats &stats() const { return stats_; }
+
+    /** Latency of each completed recovery, in ticks. */
+    const stats::Histogram &recoveryLatency() const
+    {
+        return recoveryTicks_;
+    }
+
+    bool recovering() const { return recovering_; }
+
+  private:
+    sim::Task monitorTask();
+
+    sim::Simulator &sim_;
+    NicInterface &nic_;
+    WatchdogConfig cfg_;
+    WatchdogStats stats_;
+    stats::Histogram recoveryTicks_;
+
+    sim::Tick runUntil_ = 0;
+    bool recovering_ = false;
+    std::uint64_t lastBeat_ = 0;
+    int silentChecks_ = 0;
+    std::vector<std::uint64_t> lastCompleted_;
+    std::vector<int> stalledChecks_;
+
+    std::function<void(FailureKind)> failureCb_;
+    std::function<void(sim::Tick)> recoveredCb_;
+};
+
+} // namespace ccn::driver
+
+#endif // CCN_DRIVER_WATCHDOG_HH

@@ -107,8 +107,12 @@ PcieNic::PcieNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
       hostSocket_(host_socket),
       costs_(pcieDriverCosts(mem_system.config())),
       link_(sim, params.pcie, mem_system, host_socket),
-      pipeline_(sim, params.pipelinePps)
+      pipeline_(sim, params.pipelinePps), runGate_(sim)
 {
+    devBeatLine_ =
+        mem_.alloc(host_socket, mem::kLineBytes, mem::kLineBytes);
+    hostBeatLine_ =
+        mem_.alloc(host_socket, mem::kLineBytes, mem::kLineBytes);
     driver::MempoolConfig pool_cfg;
     pool_cfg.homeSocket = host_socket;
     pool_cfg.largeBufBytes = 2048; // Standard DPDK mbuf data room.
@@ -136,6 +140,135 @@ PcieNic::start()
         sim_.spawn(devTxEngine(q));
         sim_.spawn(devRxEngine(q));
     }
+    sim_.spawn(heartbeatTask());
+}
+
+sim::Task
+PcieNic::heartbeatTask()
+{
+    for (;;) {
+        co_await sim_.delay(params_.beatPeriod);
+        if (wedged_ || devState_ != DevState::Running)
+            continue; // Silence is the failure signal.
+        PcieNic *self = this;
+        link_.postedDmaWrite(devBeatLine_, 8,
+                             [self] { self->devBeatValue_++; });
+    }
+}
+
+sim::Coro<void>
+PcieNic::beatHost()
+{
+    co_await mem_.store(queues_[0]->hostAgent, hostBeatLine_, 8);
+    co_return;
+}
+
+sim::Coro<std::uint64_t>
+PcieNic::readDeviceBeat()
+{
+    // DDIO writeback target: an LLC hit for the host.
+    co_await mem_.load(queues_[0]->hostAgent, devBeatLine_, 8);
+    co_return devBeatValue_;
+}
+
+driver::QueueHealth
+PcieNic::health(int q) const
+{
+    const Queue &queue = *queues_[q];
+    driver::QueueHealth h;
+    h.txSubmitted = queue.txSubmittedTotal;
+    h.txCompleted = queue.txCompletedTotal;
+    h.rxDelivered = queue.rxDeliveredTotal;
+    h.txOutstanding = queue.txProd - queue.devTxCons;
+    return h;
+}
+
+sim::Coro<void>
+PcieNic::quiesce()
+{
+    if (devState_ == DevState::Down)
+        co_return;
+    devState_ = DevState::Quiescing;
+    runGate_.notifyAll();
+    while (hostOps_ > 0 || devOps_ > 0)
+        co_await sim_.delay(sim::fromNs(100));
+    devState_ = DevState::Down;
+    co_return;
+}
+
+sim::Coro<void>
+PcieNic::reset()
+{
+    assert(devState_ == DevState::Down);
+    // Function-level reset; in-flight doorbells and DMA completions
+    // land during this window and are discarded below.
+    co_await sim_.delay(params_.resetLat);
+
+    std::uint64_t reclaimed = 0;
+    for (int q = 0; q < numQueues(); ++q) {
+        Queue &queue = *queues_[q];
+        // TX ownership is tracked by txShadow (the device never clears
+        // slot.buf, so TX ring slots can alias already-freed buffers);
+        // RX ring slots own their buffer while posted or completed.
+        std::vector<PacketBuf *> frees;
+        for (PacketBuf *&b : queue.txShadow) {
+            if (b) {
+                b->nextSeg = nullptr;
+                frees.push_back(b);
+            }
+            b = nullptr;
+        }
+        for (std::uint32_t i = 0; i < queue.rx.entries(); ++i) {
+            auto &slot = queue.rx.slot(i);
+            if (slot.buf && slot.meta != kRxEmpty) {
+                slot.buf->nextSeg = nullptr;
+                frees.push_back(slot.buf);
+            }
+            slot.buf = nullptr;
+            slot.ready = false;
+            slot.meta = kRxEmpty;
+            slot.len = 0;
+        }
+        for (std::uint32_t i = 0; i < queue.tx.entries(); ++i) {
+            auto &slot = queue.tx.slot(i);
+            slot.buf = nullptr;
+            slot.ready = false;
+            slot.meta = 0;
+            slot.len = 0;
+        }
+        if (!frees.empty()) {
+            co_await pool_->freeBurst(queue.hostAgent, frees.data(),
+                                      static_cast<int>(frees.size()),
+                                      q);
+            reclaimed += frees.size();
+        }
+        while (!queue.doorbells.empty())
+            (void)co_await queue.doorbells.get();
+        while (!queue.rxInput.empty())
+            (void)co_await queue.rxInput.get();
+        queue.txProd = queue.txFreeScan = 0;
+        queue.rxCons = queue.rxPostProd = 0;
+        queue.devTxCons = queue.devTxTail = 0;
+        queue.devRxPostCons = queue.devRxPostTail = 0;
+        queue.txHeadValue = 0;
+    }
+    pool_->auditLeaks();
+    resetReclaimed_ += reclaimed;
+    resets_++;
+    obs::tracepoint(obs::EventKind::Custom, "pcie_nic.reset",
+                    sim_.now(), reclaimed);
+    co_return;
+}
+
+sim::Coro<void>
+PcieNic::reinit()
+{
+    assert(devState_ == DevState::Down);
+    co_await sim_.delay(sim::fromNs(500.0));
+    wedged_ = false;
+    devState_ = DevState::Running;
+    runGate_.notifyAll();
+    co_return;
 }
 
 mem::AgentId
@@ -197,6 +330,9 @@ PcieNic::freeBufs(int q, PacketBuf **bufs, int count)
 sim::Coro<int>
 PcieNic::txBurst(int q, PacketBuf **bufs, int count)
 {
+    if (devState_ != DevState::Running)
+        co_return 0;
+    OpScope guard(hostOps_);
     Queue &queue = *queues_[q];
     co_await sim_.delay(mem_.config().cycles(costs_.perLoop));
 
@@ -262,6 +398,7 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
                                 std::move(publish));
     }
     queue.txProd += count;
+    queue.txSubmittedTotal += static_cast<std::uint64_t>(count);
 
     // Doorbell. CX6-style devices inline the first descriptors into a
     // WC doorbell write; E810 uses a plain UC tail update.
@@ -284,6 +421,9 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
 sim::Coro<int>
 PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
 {
+    if (devState_ != DevState::Running)
+        co_return 0;
+    OpScope guard(hostOps_);
     Queue &queue = *queues_[q];
     co_await sim_.delay(mem_.config().cycles(costs_.perLoop));
 
@@ -309,6 +449,7 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
         co_await mem_.accessMulti(queue.hostAgent, load_spans, false);
         co_await sim_.delay(mem_.config().cycles(
             (costs_.perPktRx + costs_.perDesc) * collected));
+        queue.rxDeliveredTotal += static_cast<std::uint64_t>(collected);
     }
 
     // Repost blank buffers and ring the RX tail doorbell in batches.
@@ -362,8 +503,11 @@ PcieNic::idleWait(int q, Tick deadline)
 {
     Queue &queue = *queues_[q];
     const Addr watch = queue.rx.lineOf(queue.rxCons);
-    co_await mem_.waitLineChangeUntil(watch, mem_.lineVersion(watch),
-                                      deadline);
+    // Bounded: reset() rewinds rxCons, so an unbounded wait on the old
+    // consumer line would sleep through a hot-reset recovery.
+    co_await mem_.waitLineChangeUntil(
+        watch, mem_.lineVersion(watch),
+        std::min(deadline, sim_.now() + params_.beatPeriod));
     co_return;
 }
 
@@ -372,14 +516,21 @@ PcieNic::devTxEngine(int q)
 {
     Queue &queue = *queues_[q];
     for (;;) {
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
         std::uint32_t tail = co_await queue.doorbells.get();
         while (!queue.doorbells.empty())
             tail = co_await queue.doorbells.get();
+        if (wedged_ || devState_ != DevState::Running)
+            continue; // Doorbell into a dead device is lost.
         if (tail - queue.devTxCons > kRingEntries)
             continue; // Stale doorbell.
         queue.devTxTail = tail;
 
+        OpScope busy(devOps_);
         while (queue.devTxCons != queue.devTxTail) {
+            if (devState_ != DevState::Running)
+                break; // Abandon: reset() reclaims via txShadow.
             while (!queue.doorbells.empty()) {
                 const std::uint32_t t2 = co_await queue.doorbells.get();
                 if (t2 - queue.devTxCons <= kRingEntries)
@@ -431,6 +582,7 @@ PcieNic::devTxEngine(int q)
                 });
             }
             queue.devTxCons += n;
+            queue.txCompletedTotal += n;
 
             // TX head writeback (completion) via DDIO: posted, off
             // the device's critical path.
@@ -447,7 +599,12 @@ PcieNic::devRxEngine(int q)
 {
     Queue &queue = *queues_[q];
     for (;;) {
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
         WirePacket first = co_await queue.rxInput.get();
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
+        OpScope busy(devOps_);
         std::vector<WirePacket> batch{first};
         while (static_cast<int>(batch.size()) < params_.descFetchBatch &&
                !queue.rxInput.empty())
@@ -457,11 +614,18 @@ PcieNic::devRxEngine(int q)
         // needed, in batches.
         std::uint32_t avail =
             queue.devRxPostTail - queue.devRxPostCons;
+        bool abandoned = false;
         while (avail < batch.size()) {
+            if (devState_ != DevState::Running) {
+                abandoned = true; // Quiesce: host stopped posting.
+                break;
+            }
             // Wait for the host to post buffers (RX tail doorbell).
             co_await sim_.delay(sim::fromNs(200.0));
             avail = queue.devRxPostTail - queue.devRxPostCons;
         }
+        if (abandoned)
+            continue; // Packets dropped; ring state untouched.
         // Posted RX descriptors were prefetched by the device when the
         // RX tail doorbell arrived (bandwidth charged, latency hidden).
         link_.chargeBackgroundRead(batch.size() * 16);

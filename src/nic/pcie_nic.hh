@@ -55,6 +55,12 @@ struct NicParams
     /// Per-packet device processing cost.
     sim::Tick perPacketLat = sim::fromNs(12.0);
 
+    /// Device heartbeat period (DDIO writeback of a liveness line).
+    sim::Tick beatPeriod = sim::fromUs(2.0);
+
+    /// Flat device-reset latency (function-level reset).
+    sim::Tick resetLat = sim::fromUs(5.0);
+
     /// PCIe endpoint timing.
     pcie::PcieParams pcie;
 };
@@ -111,7 +117,38 @@ class PcieNic : public driver::NicInterface
     const driver::CpuCosts &cpuCosts() const override { return costs_; }
     /// @}
 
+    /// @name Device lifecycle (NicInterface overrides).
+    /// @{
+    bool supportsLifecycle() const override { return true; }
+    bool operational() const override
+    {
+        return devState_ == DevState::Running;
+    }
+    sim::Coro<void> beatHost() override;
+    sim::Coro<std::uint64_t> readDeviceBeat() override;
+    driver::QueueHealth health(int q) const override;
+    sim::Coro<void> quiesce() override;
+    sim::Coro<void> reset() override;
+    sim::Coro<void> reinit() override;
+    /// @}
+
+    /// @name Fault injection (chaos harness).
+    /// @{
+    void wedge() override { wedged_ = true; }
+    void
+    unwedge()
+    {
+        wedged_ = false;
+        runGate_.notifyAll();
+    }
+    bool wedged() const { return wedged_; }
+    /// @}
+
     const NicParams &params() const { return params_; }
+
+    driver::Mempool &pool() { return *pool_; }
+
+    std::size_t auditLeaks() override { return pool_->auditLeaks(); }
 
     /** RX packets discarded on FCS mismatch (corrupted on the wire). */
     std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
@@ -156,10 +193,34 @@ class PcieNic : public driver::NicInterface
         sim::Mailbox<std::uint32_t> doorbells;
         sim::Mailbox<WirePacket> rxInput;
         pcie::WcWindow wc;
+
+        // Monotonic progress counters (survive resets).
+        std::uint64_t txSubmittedTotal = 0;
+        std::uint64_t txCompletedTotal = 0;
+        std::uint64_t rxDeliveredTotal = 0;
+    };
+
+    /** Device lifecycle state. */
+    enum class DevState : std::uint8_t
+    {
+        Running,
+        Quiescing,
+        Down,
+    };
+
+    /** RAII in-flight-operation counter (quiesce waits on it). */
+    struct OpScope
+    {
+        int &n;
+        explicit OpScope(int &count) : n(count) { ++n; }
+        ~OpScope() { --n; }
+        OpScope(const OpScope &) = delete;
+        OpScope &operator=(const OpScope &) = delete;
     };
 
     sim::Task devTxEngine(int q);
     sim::Task devRxEngine(int q);
+    sim::Task heartbeatTask();
 
     void deliverTx(int q, const WirePacket &pkt);
 
@@ -178,7 +239,21 @@ class PcieNic : public driver::NicInterface
     obs::Counter rxCrcDrops_{"pcie_nic.rx_crc_drops"};
     obs::Counter doorbells_{"pcie_nic.doorbells"};
     obs::Counter txCount_{"pcie_nic.tx_packets"};
+    obs::Counter resets_{"pcie_nic.resets"};
+    obs::Counter resetReclaimed_{"pcie_nic.reset_reclaimed_bufs"};
     bool started_ = false;
+
+    // Lifecycle state. The device heartbeat is a DDIO head-writeback-
+    // style line the device bumps; the host beat is a host-memory line
+    // (PCIe devices do not poll host liveness in this model).
+    DevState devState_ = DevState::Running;
+    bool wedged_ = false;
+    int hostOps_ = 0; ///< Host bursts in flight.
+    int devOps_ = 0;  ///< Device engine batches in flight.
+    sim::Gate runGate_;
+    mem::Addr devBeatLine_ = 0;
+    mem::Addr hostBeatLine_ = 0;
+    std::uint64_t devBeatValue_ = 0;
 };
 
 } // namespace ccn::nic

@@ -477,6 +477,8 @@ Endpoint::onTimer(Connection &c)
 {
     if (c.state_ == Connection::State::Error)
         co_return;
+    if (c.recovering_)
+        co_return; // RTO paused: the device, not the peer, is away.
     const Tick now = sim_.now();
     if (now < c.rtxDeadline_)
         co_return;
@@ -523,6 +525,88 @@ Endpoint::abort(Connection &c, bool send_rst)
     c.rxGate_.notifyAll();
     if (send_rst && c.peerConn_ != 0)
         co_await xmit(c, kTpRst, 0, cfg_.ackBytes, 0, 0);
+    co_return;
+}
+
+void
+Endpoint::deviceResetBegin()
+{
+    stats_.deviceResets++;
+    obs::tracepoint(obs::EventKind::Custom, "transport.device_reset",
+                    sim_.now(), 0);
+    for (const auto &c : conns_) {
+        if (c->state_ == Connection::State::Error)
+            continue;
+        // Freeze loss recovery: the RTO would otherwise burn through
+        // maxRetries against a device that cannot carry a single
+        // packet, aborting connections whose peer is perfectly alive.
+        c->recovering_ = true;
+        c->retries_ = 0;
+        c->dupAcks_ = 0;
+        c->rtxDeadline_ = sim::kTickMax;
+    }
+}
+
+void
+Endpoint::deviceResetComplete()
+{
+    sim_.spawn(resyncTask());
+}
+
+sim::Task
+Endpoint::resyncTask()
+{
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+        Connection &c = *conns_[i];
+        if (!c.recovering_)
+            continue;
+        c.recovering_ = false;
+        if (c.state_ == Connection::State::Error)
+            continue;
+
+        if (c.state_ == Connection::State::Connecting) {
+            // The SYN (or its SYN-ACK) died with the device.
+            c.rtxDeadline_ = sim_.now() + c.rto_;
+            co_await xmit(c, kTpSyn, 0, cfg_.ackBytes, 0, 0);
+            continue;
+        }
+
+        // Open: every unacked, non-SACKed segment may have been
+        // reclaimed from the rings mid-flight. Re-emit them from the
+        // SACK scoreboard rather than waiting out an RTO per segment.
+        // These count as resyncs, not retransmits: the loss was local
+        // to our own device, not a congestion/wire event.
+        std::vector<std::uint32_t> seqs;
+        for (const auto &[seq, u] : c.unacked_)
+            if (!u.sacked)
+                seqs.push_back(seq);
+        bool resent = false;
+        for (const std::uint32_t seq : seqs) {
+            // Re-find after each suspension: an ACK racing in through
+            // the freshly reinitialized device may erase entries.
+            auto it = c.unacked_.find(seq);
+            if (it == c.unacked_.end() || it->second.sacked)
+                continue;
+            it->second.retransmitted = true; // Karn: no RTT sample.
+            stats_.resetResyncs++;
+            const std::uint32_t len = it->second.len;
+            const std::uint64_t user_data = it->second.userData;
+            const Tick tx_time = it->second.txTime;
+            co_await xmit(c, kTpData | kTpAck, seq, len, user_data,
+                          tx_time);
+            resent = true;
+        }
+        c.rtxDeadline_ = c.unacked_.empty() ? sim::kTickMax
+                                            : sim_.now() + c.rto_;
+        if (!resent) {
+            // Nothing of ours in flight, but the peer may be stalled
+            // on credits or re-sending into the void: refresh our
+            // ack/SACK/credit state unprompted.
+            stats_.acksSent++;
+            co_await xmit(c, kTpAck, 0, cfg_.ackBytes, 0, 0);
+        }
+        c.sendGate_.notifyAll();
+    }
     co_return;
 }
 

@@ -141,6 +141,13 @@ struct TransportStats
     obs::Counter aborts{"transport.aborts"};        ///< Connections errored.
     obs::Counter orphanPackets{
         "transport.orphan_packets"};                ///< No matching conn.
+    obs::Counter deviceResets{
+        "transport.device_resets"};                 ///< Local NIC resets seen.
+    obs::Counter resetResyncs{
+        "transport.reset_resyncs"};                 ///< Segments re-sent to
+                                                    ///< resync after a reset
+                                                    ///< (not retransmits: the
+                                                    ///< loss was local).
 };
 
 /** One application-visible message. */
@@ -195,6 +202,9 @@ class Connection
     /** Unacked segments currently in flight. */
     std::uint32_t inFlight() const { return sndNext_ - sndUna_; }
 
+    /** True while the local device is being reset (RTO paused). */
+    bool recovering() const { return recovering_; }
+
   private:
     friend class Endpoint;
 
@@ -236,6 +246,8 @@ class Connection
     sim::Tick srtt_ = 0, rttvar_ = 0;
     bool haveRtt_ = false;
     int retries_ = 0; ///< Consecutive timeouts without progress.
+    bool recovering_ = false; ///< Local device reset in progress:
+                              ///< RTO paused, no retry accounting.
     sim::Gate sendGate_; ///< Window opened / handshake done / abort.
 
     // Receiver.
@@ -282,6 +294,23 @@ class Endpoint
         acceptCb_ = std::move(cb);
     }
 
+    /// @name Device-reset survival.
+    /// The local NIC's Watchdog calls these around a hot-reset. A
+    /// reset is *not* peer loss: in-flight segments died in the local
+    /// rings, the peer is fine, and the RTT estimate is still valid —
+    /// so instead of burning retries toward abort, connections pause
+    /// their RTO and, once the device is back, resynchronize from SACK
+    /// state (retransmitting exactly the segments the peer does not
+    /// hold).
+    /// @{
+
+    /** Device entered reset: pause RTO/retry accounting. */
+    void deviceResetBegin();
+
+    /** Device recovered: spawn the resync task. */
+    void deviceResetComplete();
+    /// @}
+
     const TransportStats &stats() const { return stats_; }
     const TransportConfig &config() const { return cfg_; }
     const std::string &name() const { return name_; }
@@ -302,6 +331,7 @@ class Endpoint
 
     sim::Task rxPump(int q);
     sim::Task timerTask();
+    sim::Task resyncTask();
 
     sim::Coro<void> dispatch(int q, const driver::PacketBuf &buf);
     sim::Coro<void> handleSyn(int q, const driver::PacketBuf &buf);

@@ -1,0 +1,211 @@
+#include "workload/chaos.hh"
+
+#include <algorithm>
+
+#include "obs/trace.hh"
+
+namespace ccn::workload {
+
+using sim::Tick;
+
+ChaosSchedule::ChaosSchedule(sim::Simulator &sim,
+                             const ChaosConfig &cfg, ChaosHooks hooks)
+    : sim_(sim), cfg_(cfg), hooks_(std::move(hooks))
+{
+    sim::Rng rng(cfg_.seed);
+    const Tick span =
+        cfg_.end > cfg_.start ? cfg_.end - cfg_.start : 0;
+
+    // Each class gets evenly spaced slots across the window; seeded
+    // jitter moves an event within its slot so classes interleave
+    // differently per seed but never bunch at the window edges.
+    const auto place = [&](int n, ChaosKind kind) {
+        for (int i = 0; i < n; ++i) {
+            const double denom = static_cast<double>(n);
+            double frac = (static_cast<double>(i) + 0.5) / denom +
+                          (rng.uniform() - 0.5) * 0.6 / denom;
+            frac = std::clamp(frac, 0.0, 1.0);
+            events_.push_back(
+                {cfg_.start +
+                     static_cast<Tick>(frac *
+                                       static_cast<double>(span)),
+                 kind});
+        }
+    };
+    place(cfg_.nicWedges, ChaosKind::NicWedge);
+    place(cfg_.linkFlaps, ChaosKind::LinkFlap);
+    place(cfg_.lossBursts, ChaosKind::LossBurst);
+    std::sort(events_.begin(), events_.end(),
+              [](const Event &a, const Event &b) {
+                  return a.at < b.at;
+              });
+}
+
+void
+ChaosSchedule::arm(Tick run_until)
+{
+    sim_.spawn(replayTask(run_until));
+}
+
+void
+ChaosSchedule::noteRecovered()
+{
+    if (lastWedgeAt_ == 0)
+        return;
+    recoveryTicks_.record(sim_.now() - lastWedgeAt_);
+    lastWedgeAt_ = 0;
+}
+
+sim::Task
+ChaosSchedule::replayTask(Tick run_until)
+{
+    for (const Event ev : events_) {
+        if (ev.at >= run_until)
+            break;
+        if (ev.at > sim_.now())
+            co_await sim_.delayUntil(ev.at);
+
+        switch (ev.kind) {
+        case ChaosKind::NicWedge:
+            if (!hooks_.wedge)
+                break;
+            lastWedgeAt_ = sim_.now();
+            hooks_.wedge();
+            wedges_++;
+            obs::tracepoint(obs::EventKind::Custom, "chaos.wedge",
+                            sim_.now(), wedges_.value());
+            break;
+
+        case ChaosKind::LinkFlap: {
+            if (!hooks_.uplink || !hooks_.downlink)
+                break;
+            net::Link *up = hooks_.uplink;
+            net::Link *down = hooks_.downlink;
+            up->setUp(false);
+            down->setUp(false);
+            flaps_++;
+            obs::tracepoint(obs::EventKind::Custom, "chaos.flap",
+                            sim_.now(), flaps_.value());
+            sim_.scheduleCallback(sim_.now() + cfg_.flapDown,
+                                  [up, down] {
+                                      up->setUp(true);
+                                      down->setUp(true);
+                                  });
+            break;
+        }
+
+        case ChaosKind::LossBurst:
+            if (!hooks_.uplink || !hooks_.downlink)
+                break;
+            hooks_.uplink->forceDrop(
+                static_cast<std::uint64_t>(cfg_.burstDrops));
+            hooks_.downlink->forceDrop(
+                static_cast<std::uint64_t>(cfg_.burstDrops));
+            bursts_++;
+            obs::tracepoint(obs::EventKind::Custom, "chaos.burst",
+                            sim_.now(), bursts_.value());
+            break;
+        }
+    }
+    co_return;
+}
+
+namespace {
+
+/** Full lifecycle cycle used as the end-of-run teardown audit. */
+sim::Task
+lifecycleCycle(driver::NicInterface &nic, bool *done)
+{
+    if (nic.supportsLifecycle()) {
+        co_await nic.quiesce();
+        co_await nic.reset();
+        co_await nic.reinit();
+    }
+    *done = true;
+    co_return;
+}
+
+} // namespace
+
+ChaosKvResult
+runKvClientServerChaos(sim::Simulator &sim,
+                       mem::CoherentSystem &server_mem,
+                       driver::NicInterface &server_nic,
+                       mem::CoherentSystem &client_mem,
+                       driver::NicInterface &client_nic,
+                       net::Fabric &fabric, std::uint32_t server_addr,
+                       std::uint32_t client_addr,
+                       const ClientServerConfig &cfg,
+                       const ChaosConfig &chaos_cfg,
+                       const driver::WatchdogConfig &wd_cfg)
+{
+    ChaosConfig ccfg = chaos_cfg;
+    if (ccfg.start == 0)
+        ccfg.start = sim.now() + cfg.warmup;
+    if (ccfg.end == 0)
+        ccfg.end = sim.now() + cfg.warmup + cfg.window;
+
+    transport::Endpoint server_ep(sim, server_mem, server_nic,
+                                  cfg.tp, "server");
+    transport::Endpoint client_ep(sim, client_mem, client_nic,
+                                  cfg.tp, "client");
+
+    ChaosHooks hooks;
+    hooks.wedge = [&client_nic] { client_nic.wedge(); };
+    hooks.uplink = &fabric.uplinkOf(client_addr);
+    hooks.downlink = &fabric.downlinkOf(client_addr);
+    ChaosSchedule chaos(sim, ccfg, std::move(hooks));
+
+    driver::Watchdog wd(sim, client_nic, wd_cfg);
+    wd.onFailure([&client_ep](driver::FailureKind) {
+        client_ep.deviceResetBegin();
+    });
+    wd.onRecovered([&client_ep, &chaos](Tick) {
+        client_ep.deviceResetComplete();
+        chaos.noteRecovered();
+    });
+
+    ChaosKvResult r;
+    r.kv = runReliableWithEndpoints(
+        sim, server_mem, server_ep, client_ep, server_addr, cfg,
+        [&wd, &chaos](Tick run_until) {
+            wd.start(run_until);
+            chaos.arm(run_until);
+        });
+
+    // Teardown audit: hot-reset both NICs so every ring- or
+    // shadow-held buffer is reclaimed, then ask the pools what never
+    // came back. A buffer the data plane truly dropped on the floor
+    // is unreachable from any ring and shows up here.
+    bool client_down = false;
+    bool server_down = false;
+    sim.spawn(lifecycleCycle(client_nic, &client_down));
+    sim.spawn(lifecycleCycle(server_nic, &server_down));
+    const Tick teardown_deadline = sim.now() + sim::fromUs(500.0);
+    while (!(client_down && server_down) &&
+           sim.now() < teardown_deadline)
+        sim.run(sim.now() + sim::fromUs(10.0));
+
+    r.leakedBufs = client_nic.auditLeaks() + server_nic.auditLeaks();
+    bool live = client_nic.operational() && server_nic.operational();
+    for (int q = 0; live && q < client_nic.numQueues(); ++q)
+        live = client_nic.health(q).txOutstanding == 0;
+    for (int q = 0; live && q < server_nic.numQueues(); ++q)
+        live = server_nic.health(q).txOutstanding == 0;
+    r.ringsLive = live;
+
+    r.wedgesInjected = chaos.wedgesInjected();
+    r.flapsInjected = chaos.flapsInjected();
+    r.burstsInjected = chaos.burstsInjected();
+    r.recoveries = wd.stats().recoveries.value();
+    r.deviceResets = client_ep.stats().deviceResets.value();
+    const stats::Histogram &h = chaos.recoveryLatency();
+    if (h.count() > 0) {
+        r.recoveryP50Ns = sim::toNs(h.percentile(50.0));
+        r.recoveryP99Ns = sim::toNs(h.percentile(99.0));
+        r.recoveryMaxNs = sim::toNs(h.max());
+    }
+    return r;
+}
+
+} // namespace ccn::workload

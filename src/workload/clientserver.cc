@@ -1,6 +1,7 @@
 #include "workload/clientserver.hh"
 
 #include <memory>
+#include <unordered_set>
 
 #include "workload/dists.hh"
 
@@ -131,9 +132,12 @@ struct ReliableState
     Tick runUntil = 0;
 
     std::uint64_t sent = 0;
-    std::uint64_t responses = 0;       ///< Whole run.
+    std::uint64_t responses = 0;       ///< Whole run, deduplicated.
     std::uint64_t windowResponses = 0; ///< Within the window.
     std::uint64_t respBytes = 0;       ///< Within the window.
+    std::uint64_t duplicates = 0;      ///< Re-executed requests.
+    std::uint64_t nextReqId = 0;       ///< 31-bit request-id source.
+    std::unordered_set<std::uint64_t> seenResponses;
     stats::Histogram rttTicks;
 };
 
@@ -149,6 +153,13 @@ reliableRxTask(sim::Simulator &sim, transport::Connection *conn,
                 transport::Connection::State::Error)
                 break;
             continue; // Deadline; loop condition ends the task.
+        }
+        // Each request carries a unique id; a repeated id means the
+        // server executed (or answered) the same request twice —
+        // count it apart so at-most-once accounting stays honest.
+        if (!st->seenResponses.insert(seg.userData).second) {
+            st->duplicates++;
+            continue;
         }
         st->responses++;
         const Tick now = sim.now();
@@ -188,8 +199,12 @@ reliableClientTask(sim::Simulator &sim, transport::Endpoint &ep,
 
         const std::uint64_t key = st->zipf.sample(rng);
         const bool get = rng.uniform() < cfg.kv.getFraction;
-        const std::uint64_t user_data =
-            key | (get ? 0ULL : (1ULL << 63));
+        // userData layout: bits 0..31 key, 32..62 request-id (echoed
+        // by the server, deduplicated by the receiver), 63 PUT flag.
+        const std::uint64_t req_id = ++st->nextReqId & 0x7fffffffULL;
+        const std::uint64_t user_data = (key & 0xffffffffULL) |
+                                        (req_id << 32) |
+                                        (get ? 0ULL : (1ULL << 63));
         if (!co_await conn->send(cfg.requestBytes, user_data, 0))
             break; // Connection errored out.
         st->sent++;
@@ -242,23 +257,16 @@ runKvClientServer(sim::Simulator &sim, mem::CoherentSystem &server_mem,
 }
 
 ReliableClientServerResult
-runKvClientServerReliable(sim::Simulator &sim,
-                          mem::CoherentSystem &server_mem,
-                          driver::NicInterface &server_nic,
-                          mem::CoherentSystem &client_mem,
-                          driver::NicInterface &client_nic,
-                          std::uint32_t server_addr,
-                          const ClientServerConfig &cfg)
+runReliableWithEndpoints(
+    sim::Simulator &sim, mem::CoherentSystem &server_mem,
+    transport::Endpoint &server_ep, transport::Endpoint &client_ep,
+    std::uint32_t server_addr, const ClientServerConfig &cfg,
+    const std::function<void(sim::Tick run_until)> &before_run)
 {
     auto st = std::make_shared<ReliableState>(cfg);
     st->measureStart = sim.now() + cfg.warmup;
     st->measureEnd = st->measureStart + cfg.window;
     st->runUntil = st->measureEnd + cfg.drain;
-
-    transport::Endpoint server_ep(sim, server_mem, server_nic,
-                                  cfg.tp, "server");
-    transport::Endpoint client_ep(sim, client_mem, client_nic,
-                                  cfg.tp, "client");
 
     sim::Rng server_rng(cfg.seed);
     apps::KvServer server(server_mem, cfg.kv, server_rng);
@@ -273,6 +281,8 @@ runKvClientServerReliable(sim::Simulator &sim,
                                      cfg.offeredOps / queues, cfg, st,
                                      cfg.seed * 131 + q));
     }
+    if (before_run)
+        before_run(st->runUntil);
 
     sim.run(st->measureEnd);
     // Drain in slices until every accepted request is answered (or
@@ -299,11 +309,29 @@ runKvClientServerReliable(sim::Simulator &sim,
                      sim::toSeconds(cfg.window) / 1e6;
     r.gbpsIn = static_cast<double>(st->respBytes) * 8.0 /
                sim::toSeconds(cfg.window) / 1e9;
+    r.duplicateResponses = st->duplicates;
     r.rttMinNs = sim::toNs(st->rttTicks.min());
     r.rttP50Ns = sim::toNs(st->rttTicks.percentile(50.0));
     r.rttP95Ns = sim::toNs(st->rttTicks.percentile(95.0));
     r.rttP99Ns = sim::toNs(st->rttTicks.percentile(99.0));
     return r;
+}
+
+ReliableClientServerResult
+runKvClientServerReliable(sim::Simulator &sim,
+                          mem::CoherentSystem &server_mem,
+                          driver::NicInterface &server_nic,
+                          mem::CoherentSystem &client_mem,
+                          driver::NicInterface &client_nic,
+                          std::uint32_t server_addr,
+                          const ClientServerConfig &cfg)
+{
+    transport::Endpoint server_ep(sim, server_mem, server_nic,
+                                  cfg.tp, "server");
+    transport::Endpoint client_ep(sim, client_mem, client_nic,
+                                  cfg.tp, "client");
+    return runReliableWithEndpoints(sim, server_mem, server_ep,
+                                    client_ep, server_addr, cfg);
 }
 
 } // namespace ccn::workload

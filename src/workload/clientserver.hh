@@ -16,6 +16,7 @@
 #define CCN_WORKLOAD_CLIENTSERVER_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "apps/kvstore.hh"
 #include "driver/nic_iface.hh"
@@ -88,6 +89,11 @@ struct ReliableClientServerResult
     std::uint64_t timeouts = 0;      ///< RTO expirations, both hosts.
     std::uint64_t windowStalls = 0;  ///< send() backpressure events.
     std::uint64_t connAborts = 0;    ///< Errored connections.
+    /// Responses carrying an already-seen request-id. The client
+    /// dedups on the 31-bit id it packs into userData bits 32..62, so
+    /// a retransmit- or reset-resync-induced double execution shows up
+    /// here instead of inflating `responses`.
+    std::uint64_t duplicateResponses = 0;
     double offeredMops = 0;
     double achievedMops = 0;         ///< In-window responses per sec.
     double gbpsIn = 0;               ///< In-window response bytes.
@@ -110,6 +116,23 @@ ReliableClientServerResult runKvClientServerReliable(
     driver::NicInterface &server_nic, mem::CoherentSystem &client_mem,
     driver::NicInterface &client_nic, std::uint32_t server_addr,
     const ClientServerConfig &cfg);
+
+/**
+ * Core of runKvClientServerReliable operating on caller-owned
+ * endpoints: starts the KV server over @p server_ep, drives the
+ * open-loop client over @p client_ep, runs the simulation through
+ * warmup, window, and drain, and returns the measurement. If
+ * @p before_run is set it is invoked — after both endpoints have been
+ * started but before the simulation runs — with the run horizon, so
+ * callers can arm watchdogs or chaos schedules against the same
+ * deadline (see workload/chaos.hh).
+ */
+ReliableClientServerResult runReliableWithEndpoints(
+    sim::Simulator &sim, mem::CoherentSystem &server_mem,
+    transport::Endpoint &server_ep, transport::Endpoint &client_ep,
+    std::uint32_t server_addr, const ClientServerConfig &cfg,
+    const std::function<void(sim::Tick run_until)> &before_run =
+        nullptr);
 
 } // namespace ccn::workload
 

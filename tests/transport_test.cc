@@ -417,4 +417,40 @@ TEST(Transport, DropAtWrapBoundaryIsRecovered)
     EXPECT_EQ(st.aborts, 0u);
 }
 
+TEST(Transport, TeardownWithUnackedInFlightSegmentsIsClean)
+{
+    // Segments stuck unacked against a dead link, retransmit timers
+    // armed, the simulation stopped mid-flight — then everything is
+    // torn down. The Simulator destructor destroys suspended
+    // coroutine frames without resuming them, so the endpoint and its
+    // connections must unwind without touching freed state (the ASan
+    // CI job turns any violation into a failure).
+    TransportConfig tp;
+    tp.maxRetries = 1000; // Keep retransmitting until we stop.
+    net::LinkConfig link;
+    TransportWorld w(31, link, tp);
+    const sim::Tick until = sim::fromUs(5000.0);
+    w.epB->onAccept([&](Connection *c) {
+        w.simv.spawn(recvLoop(c, until, nullptr));
+    });
+    w.epA->start(until);
+    w.epB->start(until);
+
+    int accepted = 0;
+    w.simv.spawn(sendLoop(*w.epA, w.addrB, 8, [&] {
+        // Connection is up; now kill A's uplink so every data
+        // segment dies on the wire and stays unacked.
+        w.fabric->uplinkOf(w.addrA).setUp(false);
+    }, nullptr, &accepted));
+
+    // Stop long before `until`: timers are still pending.
+    w.simv.run(sim::fromUs(400.0));
+
+    EXPECT_EQ(accepted, 8);
+    const auto &st = w.epA->stats();
+    EXPECT_GE(st.timeouts.value(), 1u); // RTOs actually fired.
+    EXPECT_EQ(st.aborts.value(), 0u);   // Still retrying at stop.
+    // Teardown happens in ~TransportWorld: no crash, no leak.
+}
+
 } // namespace

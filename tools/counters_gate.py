@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI gate over bench_fabric_kvstore counter snapshots.
+
+Reads BENCH_fabric_kvstore.json and checks the "counters_lossfree"
+section — a registry snapshot taken right after the loss-free reliable
+point, before any lossy or chaos sweep runs — against two invariants:
+
+ 1. Zero retransmissions on a loss-free fabric. transport.retransmits
+    and transport.fast_retransmits firing without wire loss means the
+    RTO estimator or the SACK scoreboard regressed.
+
+ 2. Signaling efficiency: ccnic.signal_reads per delivered packet must
+    stay under a checked-in bound. The CC-NIC data plane's value is
+    dominated by idle-poll reads of quiescent signal lines (cheap LLC
+    hits, but each is a coherence transaction); a jump in this ratio
+    means someone broke the single-line signaling discipline or made a
+    poll loop spin faster.
+
+Usage: counters_gate.py <BENCH_fabric_kvstore.json>
+           [--max-signal-reads-per-pkt N]
+"""
+
+import argparse
+import json
+import sys
+
+# Measured ~6.7 signal reads per delivered packet on the reference run
+# (idle-poll reads across 6 queue pairs dominate; the per-packet data
+# path costs ~2). The bound leaves generous headroom for scheduling
+# jitter across platforms while still catching a regression that makes
+# a poll loop spin per-packet (an order-of-magnitude jump).
+DEFAULT_MAX_SIGNAL_READS_PER_PKT = 32.0
+
+
+def load_counters(path: str, section: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    sec = doc["sections"].get(section)
+    if sec is None:
+        raise SystemExit(
+            f"FAIL: section '{section}' missing from {path}")
+    return {row["counter"]: float(row["value"])
+            for row in sec["rows"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report")
+    ap.add_argument("--max-signal-reads-per-pkt", type=float,
+                    default=DEFAULT_MAX_SIGNAL_READS_PER_PKT)
+    args = ap.parse_args()
+
+    c = load_counters(args.report, "counters_lossfree")
+    failures = []
+
+    rtx = c.get("transport.retransmits", 0.0)
+    frtx = c.get("transport.fast_retransmits", 0.0)
+    if rtx + frtx > 0:
+        failures.append(
+            f"loss-free run retransmitted: transport.retransmits="
+            f"{rtx:.0f} transport.fast_retransmits={frtx:.0f}")
+
+    reads = c.get("ccnic.signal_reads")
+    delivered = c.get("ccnic.rx_delivered")
+    if reads is None or delivered is None or delivered == 0:
+        failures.append(
+            "ccnic.signal_reads / ccnic.rx_delivered unavailable "
+            f"(reads={reads}, delivered={delivered})")
+    else:
+        ratio = reads / delivered
+        print(f"signal reads per delivered packet: {ratio:.2f} "
+              f"(bound {args.max_signal_reads_per_pkt})")
+        if ratio > args.max_signal_reads_per_pkt:
+            failures.append(
+                f"signaling efficiency regressed: {ratio:.2f} "
+                f"signal reads per packet > bound "
+                f"{args.max_signal_reads_per_pkt}")
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("counters gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

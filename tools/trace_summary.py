@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Summarize a bench --trace export.
+
+The bench binaries accept `--trace <file>` and write the global
+tracepoint ring as a JSON array of {tick, kind, name, arg} objects
+(ticks are picoseconds). This prints per-category (kind) and
+per-event-name counts plus the covered time span, which is usually
+enough to see where a run spent its events without opening a viewer.
+
+Usage: trace_summary.py <trace.json>
+"""
+
+import collections
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        events = json.load(f)
+    if not events:
+        print("empty trace")
+        return 0
+
+    by_kind = collections.Counter(e["kind"] for e in events)
+    by_name = collections.Counter(
+        (e["kind"], e["name"]) for e in events
+    )
+    t0 = min(e["tick"] for e in events)
+    t1 = max(e["tick"] for e in events)
+
+    print(f"{len(events)} events over "
+          f"{(t1 - t0) / 1e6:.3f} us "
+          f"({t0 / 1e6:.3f} .. {t1 / 1e6:.3f} us)")
+    print()
+    print(f"{'category':<24} {'count':>10}")
+    for kind, n in by_kind.most_common():
+        print(f"{kind:<24} {n:>10}")
+    print()
+    print(f"{'category':<24} {'event':<32} {'count':>10}")
+    for (kind, name), n in by_name.most_common():
+        print(f"{kind:<24} {name:<32} {n:>10}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
