@@ -42,6 +42,8 @@ runPoint(double gbps, std::size_t queue_pkts, double offered)
     mem::CoherentSystem server_mem(simv, plat);
     mem::CoherentSystem client_mem(simv, plat);
     sim::Rng rng_s(11), rng_c(12);
+    obs::Sampler sampler(simv);
+    sampler.start();
 
     auto mk = [&](mem::CoherentSystem &m, int queues, sim::Rng &rng) {
         auto cfg = ccnic::optimizedConfig(queues, 0, plat);
@@ -94,6 +96,11 @@ runLossPoint(double loss_rate, double offered)
     mem::CoherentSystem server_mem(simv, plat);
     mem::CoherentSystem client_mem(simv, plat);
     sim::Rng rng_s(11), rng_c(12);
+    // Time-series snapshots for this point; the loss-free run's rows
+    // feed the "timeseries_lossfree" section the counters gate rate-
+    // checks (retransmit deltas must stay zero without loss).
+    obs::Sampler sampler(simv);
+    sampler.start();
 
     auto mk = [&](mem::CoherentSystem &m, int queues, sim::Rng &rng) {
         auto cfg = ccnic::optimizedConfig(queues, 0, plat);
@@ -148,6 +155,8 @@ runChaosPoint(double loss_rate, double offered)
     mem::CoherentSystem server_mem(simv, plat);
     mem::CoherentSystem client_mem(simv, plat);
     sim::Rng rng_s(11), rng_c(12);
+    obs::Sampler sampler(simv);
+    sampler.start();
 
     auto mk = [&](mem::CoherentSystem &m, int queues, sim::Rng &rng) {
         auto cfg = ccnic::optimizedConfig(queues, 0, plat);
@@ -197,9 +206,12 @@ main(int argc, char **argv)
 
     // The loss-free reliable point runs first: its counter snapshot
     // ("counters_lossfree") feeds tools/counters_gate.py and must not
-    // include retransmissions provoked by the lossy sweeps below.
+    // include retransmissions provoked by the lossy sweeps below. The
+    // same isolation applies to its time-series rows.
+    obs::Sampler::clearRows();
     const auto base = runLossPoint(0.0, 1e6);
     const auto counters_lossfree = obs::Registry::global().snapshot();
+    const auto timeseries_lossfree = obs::Sampler::table();
 
     stats::banner("Fabric KV store: client-server throughput vs link "
                   "bandwidth (ICX, 4 server threads)");
@@ -262,7 +274,8 @@ main(int argc, char **argv)
     json.add("goodput_vs_loss", lt);
     json.add("chaos_recovery", ct);
     json.add("counters_lossfree", counters_lossfree);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    json.add("timeseries_lossfree", timeseries_lossfree);
+    ccn::bench::addObsSections(json);
     json.write();
     opts.finish();
     return 0;

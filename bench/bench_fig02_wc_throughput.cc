@@ -126,7 +126,7 @@ main()
     }
     t.print();
     json.add("write_throughput", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

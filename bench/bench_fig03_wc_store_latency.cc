@@ -64,7 +64,7 @@ main()
     }
     t.print();
     json.add("wc_store_latency", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

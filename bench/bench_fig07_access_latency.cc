@@ -87,7 +87,7 @@ main()
         t.row().cell("ICX").cell(names[i]).cell(icxv[i], 1).cell(icxp[i]);
     t.print();
     json.add("access_latency", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -115,7 +115,7 @@ main(int argc, char **argv)
     }
     t.print();
     json.add("pingpong_latency", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     opts.finish();
     return 0;

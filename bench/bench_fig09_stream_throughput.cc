@@ -111,7 +111,7 @@ main()
     }
     t.print();
     json.add("stream_throughput", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

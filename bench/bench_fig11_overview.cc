@@ -97,7 +97,13 @@ main()
         .cell("4.3");
     s.print();
     json.add("headline_comparisons", s);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+
+    // Per-stage lifecycle latency breakdown (Fig 7/11 decomposition):
+    // the CC-NIC and PCIe paths stamp the same seven stages, so their
+    // per-stage percentiles are directly comparable here.
+    stats::banner("Packet lifecycle stage latency (sampled spans)");
+    obs::SpanTable::global().table().print();
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

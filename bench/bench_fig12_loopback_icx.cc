@@ -60,7 +60,7 @@ main()
 
     stats::banner("Sec 5.3 anchors (paper: CC-NIC min 490ns; 80% load "
                   "latency 88% below CX6; CX6 min 2116ns)");
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

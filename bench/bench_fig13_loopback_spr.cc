@@ -45,7 +45,7 @@ main()
     }
     t.print();
     json.add("loopback_vs_cores", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

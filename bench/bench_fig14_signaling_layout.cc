@@ -69,7 +69,7 @@ main(int argc, char **argv)
     }
     b.print();
     json.add("descriptor_layout", b);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     opts.finish();
     return 0;

@@ -70,7 +70,7 @@ main()
     }
     t.print();
     json.add("buffer_mgmt_ablation", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -63,7 +63,7 @@ main()
     }
     r.print();
     json.add("rx_batch_sweep", r);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

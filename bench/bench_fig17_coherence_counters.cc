@@ -87,7 +87,7 @@ main()
     }
     t.print();
     json.add("coherence_counters", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -49,7 +49,7 @@ main()
         .cell(lp.achievedMpps / rp.achievedMpps, 2).cell("1.5");
     s.print();
     json.add("derived_metrics", s);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -105,7 +105,7 @@ main()
     }
     t.print();
     json.add("kv_throughput", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -62,7 +62,7 @@ main()
         4.5e6 * cores, "prefetch strictly hurts (to -7%)", t);
     t.print();
     json.add("prefetch_speedup", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

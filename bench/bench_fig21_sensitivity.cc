@@ -107,7 +107,7 @@ main()
     }
     b.print();
     json.add("bandwidth_sensitivity", b);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

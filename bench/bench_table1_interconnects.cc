@@ -5,6 +5,7 @@
  * effective data ceilings.
  */
 
+#include "bench/common.hh"
 #include "obs/obs.hh"
 #include "stats/table.hh"
 #include "stats/json.hh"
@@ -28,7 +29,7 @@ main()
         .cell("192 (x4)").cell("1020 Gbps cached reads");
     t.print();
     json.add("interconnects", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -176,7 +176,7 @@ main()
         .cell("58.3 / 64.6 Mops; 5 -> 3 threads");
     t.print();
     json.add("applications", t);
-    json.add("counters", ccn::obs::Registry::global().snapshot());
+    ccn::bench::addObsSections(json);
     json.write();
     return 0;
 }

@@ -20,7 +20,11 @@
 #include "ccnic/ccnic.hh"
 #include "mem/platform.hh"
 #include "nic/pcie_nic.hh"
+#include "obs/obs.hh"
+#include "obs/sampler.hh"
+#include "obs/span.hh"
 #include "obs/trace.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 #include "workload/loopback.hh"
 
@@ -66,16 +70,39 @@ struct BenchOptions
 struct World
 {
     explicit World(const mem::PlatformConfig &plat)
-        : simv(), system(simv, plat), rng(7)
-    {}
+        : simv(), system(simv, plat), rng(7), sampler(simv)
+    {
+        sampler.start();
+    }
 
     sim::Simulator simv;
     mem::CoherentSystem system;
     sim::Rng rng;
+    /// Time-series snapshotter: every world feeds the process-wide
+    /// sample ring under its own run id, so a bench's "timeseries"
+    /// section separates measurement points.
+    obs::Sampler sampler;
     std::unique_ptr<driver::NicInterface> nic;
     ccnic::CcNic *ccnic = nullptr;   // Set when the NIC is a CcNic.
     nic::PcieNic *pcie = nullptr;    // Set when the NIC is a PcieNic.
 };
+
+/**
+ * Append the standard observability sections every bench emits:
+ *
+ *  - "counters": aggregated Registry snapshot (name, kind, value).
+ *  - "latency": per-stage packet lifecycle latency percentiles from
+ *    the sampled span table (paper Fig 7/11 stage decomposition).
+ *  - "timeseries": interval snapshots of counter deltas / gauge
+ *    changes recorded by each World's Sampler.
+ */
+inline void
+addObsSections(stats::JsonReport &json)
+{
+    json.add("counters", obs::Registry::global().snapshot());
+    json.add("latency", obs::SpanTable::global().table());
+    json.add("timeseries", obs::Sampler::table());
+}
 
 /** Build a world with a CC-NIC (or variant) attached. */
 inline std::unique_ptr<World>

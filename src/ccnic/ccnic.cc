@@ -110,6 +110,7 @@ unoptimizedConfig(int num_queues, int host_socket)
     cfg.pool.largeBufBytes = 2048;
     cfg.pool.homeSocket = host_socket;
     cfg.nicPipelined = false;
+    cfg.spanPath = "upi_unopt";
     sizePool(cfg);
     return cfg;
 }
@@ -191,6 +192,8 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     for (int q = 0; q < cfg_.numQueues; ++q) {
         queues_.push_back(std::make_unique<Queue>(
             sim_, mem_, cfg_, hostSocket_, nicSocket_));
+        queues_.back()->sigReads =
+            &signalReadsQ_.at(static_cast<std::uint64_t>(q));
     }
     // Heartbeat lines are writer-homed like the rings (§3.3): each
     // side bumps its own line and polls the other's.
@@ -229,17 +232,24 @@ CcNic::deliverTx(int q, const WirePacket &pkt)
     txCount_++;
     // TX checksum offload: every packet leaves with a valid FCS.
     WirePacket out = pkt;
+    out.span.stamp(obs::SpanStage::WireTx, sim_.now());
     out.fcs = wireFcs(out);
     if (!cfg_.loopback && txSink_) {
         txSink_(q, out);
         return;
     }
     if (cfg_.wireLat == 0) {
+        out.span.stamp(obs::SpanStage::LinkDeliver, sim_.now());
         queues_[q]->rxInput.put(out);
     } else {
         Queue *queue = queues_[q].get();
         sim_.scheduleCallback(sim_.now() + cfg_.wireLat,
-                              [queue, out] { queue->rxInput.put(out); });
+                              [queue, out, simp = &sim_]() mutable {
+                                  out.span.stamp(
+                                      obs::SpanStage::LinkDeliver,
+                                      simp->now());
+                                  queue->rxInput.put(out);
+                              });
     }
 }
 
@@ -250,7 +260,9 @@ CcNic::injectRx(int q, const WirePacket &pkt)
         rxCrcDrops_++;
         return;
     }
-    queues_[q]->rxInput.put(pkt);
+    WirePacket in = pkt;
+    in.span.stamp(obs::SpanStage::LinkDeliver, sim_.now());
+    queues_[q]->rxInput.put(in);
 }
 
 sim::Task
@@ -418,9 +430,12 @@ CcNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs, int count)
         cycles(cfg_.hostCosts.perAllocFree * std::max(1, count / 8)));
     int got = co_await pool_->allocBurst(queue.hostAgent, size, bufs,
                                          count, q);
-    // Recycled buffers must not leak a previous transport header.
-    for (int i = 0; i < got; ++i)
+    // Recycled buffers must not leak a previous transport header or
+    // a stale span slot.
+    for (int i = 0; i < got; ++i) {
         bufs[i]->tp = {};
+        bufs[i]->span.clear();
+    }
     co_return got;
 }
 
@@ -457,7 +472,7 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         if (cfg_.signal == SignalMode::Register) {
             if (queue.txFreeScan !=
                 static_cast<std::uint32_t>(queue.txHead.value())) {
-                noteSignalRead(queue.txHead.addr());
+                noteSignalRead(queue, queue.txHead.addr());
                 co_await mem_.load(queue.hostAgent,
                                    queue.txHead.addr(), 8);
                 queue.hostTxHeadCache = queue.txHead.value();
@@ -508,7 +523,7 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
                     static_cast<std::uint32_t>(queue.hostTxHeadCache));
         };
         if (space() < static_cast<std::uint32_t>(count)) {
-            noteSignalRead(queue.txHead.addr());
+            noteSignalRead(queue, queue.txHead.addr());
             co_await mem_.load(queue.hostAgent, queue.txHead.addr(), 8);
             queue.hostTxHeadCache = queue.txHead.value();
         }
@@ -541,6 +556,11 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
     if (pending.empty())
         co_return 0;
 
+    // Lifecycle spans: activate the 1-in-N sampled slot on accepted
+    // buffers only (rejected packets never entered the pipeline).
+    for (const Pending &p : pending)
+        obs::SpanTable::global().maybeStart(p.buf->span, sim_.now());
+
     // Grouped layout: a partial final group is zero-padded and the
     // producer skips to the next line (§3.2).
     if (cfg_.layout == RingLayout::Grouped &&
@@ -562,12 +582,18 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         const std::uint64_t tail_val = queue.txProd;
         if (reg)
             spans.push_back({queue.txTail.addr(), 8});
-        auto publish = [qp, shadow, reg, tail_val, pending]() {
+        auto publish = [qp, shadow, reg, tail_val, pending,
+                        simp = &sim_]() {
             for (const Pending &p : pending) {
                 auto &slot = qp->tx.slot(p.idx);
                 slot.buf = p.buf;
                 slot.len = p.buf->wireLen();
                 slot.ready = true;
+                // Stamped inside the publish (store-completion time):
+                // this is when the descriptor became visible, not
+                // when the core retired the posted store.
+                p.buf->span.stamp(obs::SpanStage::DescPublish,
+                                  simp->now());
                 if (shadow)
                     qp->txShadow[p.idx & qp->tx.mask()] = p.buf;
             }
@@ -626,7 +652,7 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
             // reloading the tail register when it looks empty.
             if (idx == static_cast<std::uint32_t>(
                            queue.hostRxTailCache)) {
-                noteSignalRead(queue.rxTail.addr());
+                noteSignalRead(queue, queue.rxTail.addr());
                 co_await mem_.load(queue.hostAgent,
                                    queue.rxTail.addr(), 8);
                 queue.hostRxTailCache = queue.rxTail.value();
@@ -775,6 +801,15 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
             cycles((costs.perPktRx + costs.perDesc) * collected));
         queue.rxDeliveredTotal += static_cast<std::uint64_t>(collected);
         rxDelivered_ += static_cast<std::uint64_t>(collected);
+        // Close out sampled lifecycle spans: the buffers are in the
+        // app's hands as of now.
+        for (int i = 0; i < collected; ++i) {
+            if (bufs[i]->span.active) {
+                obs::SpanTable::global().commit(cfg_.spanPath,
+                                                bufs[i]->span,
+                                                sim_.now());
+            }
+        }
     }
     co_return collected;
 }
@@ -814,7 +849,7 @@ CcNic::nicTxTask(int q)
         // has gone quiet.
         if (cfg_.signal == SignalMode::Inline) {
             const Addr line = queue.tx.lineOf(queue.txCons);
-            noteSignalRead(line);
+            noteSignalRead(queue, line);
             co_await mem_.load(queue.nicAgent, line, mem::kLineBytes);
             auto &head = queue.tx.slot(queue.txCons);
             if (!head.ready || head.meta == kConsumed) {
@@ -827,7 +862,7 @@ CcNic::nicTxTask(int q)
             if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
                 queue.txCons) {
                 const Addr line = queue.txTail.addr();
-                noteSignalRead(line);
+                noteSignalRead(queue, line);
                 co_await mem_.load(queue.nicAgent, line, 8);
                 queue.nicTxTailCache = queue.txTail.value();
                 if (static_cast<std::uint32_t>(queue.nicTxTailCache) ==
@@ -917,6 +952,13 @@ CcNic::nicTxTask(int q)
             continue;
         }
 
+        // The NIC has observed the signal and taken the descriptors.
+        for (const Taken &t : batch) {
+            if (t.buf)
+                t.buf->span.stamp(obs::SpanStage::NicObserve,
+                                  sim_.now());
+        }
+
         // Descriptor and payload reads. The CC-NIC engine pipelines
         // across the whole batch; the E810-emulation baseline handles
         // one descriptor at a time, serializing the address-dependent
@@ -997,6 +1039,10 @@ CcNic::nicTxTask(int q)
             WirePacket pkt{t.len, t.buf->txTime, t.buf->flowId,
                            t.buf->userData, 1, t.buf->src, t.buf->dst};
             pkt.tp = t.buf->tp;
+            // The span rides the wire from here; the TX buffer is
+            // about to be recycled and must not keep an active slot.
+            pkt.span = t.buf->span;
+            t.buf->span.clear();
             if (t.buf->nextSeg)
                 pkt.segments = 2;
             deliverTx(q, pkt);
@@ -1115,7 +1161,7 @@ CcNic::nicRxTask(int q)
                     if (space >= needed)
                         break;
                     const Addr line = queue.rxHead.addr();
-                    noteSignalRead(line);
+                    noteSignalRead(queue, line);
                     co_await mem_.load(queue.nicAgent, line, 8);
                     queue.nicRxHeadCache = queue.rxHead.value();
                     if (queue.rx.entries() - 1 -
@@ -1179,8 +1225,8 @@ CcNic::nicRxTask(int q)
                 const std::uint64_t tail_val = queue.rxProd;
                 if (reg)
                     spans.push_back({queue.rxTail.addr(), 8});
-                auto publish = [qp, reg, tail_val, placed, out,
-                                batch]() {
+                auto publish = [qp, reg, tail_val, placed, out, batch,
+                                simp = &sim_]() {
                     for (const auto &[slot_idx, pkt_idx] : placed) {
                         PacketBuf *b = out[pkt_idx];
                         b->len = batch[pkt_idx].len;
@@ -1190,6 +1236,12 @@ CcNic::nicRxTask(int q)
                         b->src = batch[pkt_idx].src;
                         b->dst = batch[pkt_idx].dst;
                         b->tp = batch[pkt_idx].tp;
+                        // Overwrites any stale slot on the recycled
+                        // buffer; stamped at store-completion time
+                        // (the host cannot reap before this runs).
+                        b->span = batch[pkt_idx].span;
+                        b->span.stamp(obs::SpanStage::RxPublish,
+                                      simp->now());
                         auto &slot = qp->rx.slot(slot_idx);
                         slot.buf = b;
                         slot.len = b->len;
@@ -1234,7 +1286,7 @@ CcNic::nicRxTask(int q)
                         break;
                     }
                     const Addr line = queue.rx.lineOf(post_idx);
-                    noteSignalRead(line);
+                    noteSignalRead(queue, line);
                     co_await mem_.load(queue.nicAgent, line,
                                        mem::kLineBytes);
                     if (queue.rx.slot(post_idx).meta == kRxPosted)
@@ -1271,7 +1323,8 @@ CcNic::nicRxTask(int q)
                 const std::uint64_t tail_val = queue.rxPostCons;
                 if (reg)
                     spans.push_back({queue.rxTail.addr(), 8});
-                auto publish = [qp, reg, tail_val, placed, batch]() {
+                auto publish = [qp, reg, tail_val, placed, batch,
+                                simp = &sim_]() {
                     for (const auto &[slot_idx, pkt_idx] : placed) {
                         auto &slot = qp->rx.slot(slot_idx);
                         PacketBuf *b = slot.buf;
@@ -1282,6 +1335,9 @@ CcNic::nicRxTask(int q)
                         b->src = batch[pkt_idx].src;
                         b->dst = batch[pkt_idx].dst;
                         b->tp = batch[pkt_idx].tp;
+                        b->span = batch[pkt_idx].span;
+                        b->span.stamp(obs::SpanStage::RxPublish,
+                                      simp->now());
                         slot.len = b->len;
                         slot.meta = kRxCompleted;
                         slot.ready = true;

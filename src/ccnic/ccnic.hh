@@ -33,6 +33,7 @@
 #include "mem/coherence.hh"
 #include "mem/platform.hh"
 #include "obs/obs.hh"
+#include "obs/span.hh"
 #include "obs/trace.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
@@ -63,6 +64,10 @@ struct WirePacket
     /// Frame check sequence stamped by the NIC TX engine; 0 means
     /// "unstamped" (packets injected directly by tests/harnesses).
     std::uint32_t fcs = 0;
+
+    /// Lifecycle span slot riding across the wire (not FCS-covered:
+    /// telemetry, not packet contents). See obs/span.hh.
+    obs::PacketSpan span;
 };
 
 /**
@@ -118,6 +123,11 @@ struct CcNicConfig
 
     /// Flat device-reset latency (ring teardown + engine restart).
     sim::Tick resetLat = sim::fromUs(5.0);
+
+    /// Path label this NIC's lifecycle spans are recorded under in
+    /// obs::SpanTable (keeps CC-NIC and unoptimized-UPI breakdowns
+    /// separate in the "latency" bench section).
+    std::string spanPath = "ccnic";
 };
 
 /** The paper's optimized CC-NIC configuration. */
@@ -284,6 +294,11 @@ class CcNic : public driver::NicInterface
         std::uint64_t txSubmittedTotal = 0;
         std::uint64_t txCompletedTotal = 0;
         std::uint64_t rxDeliveredTotal = 0;
+
+        /// Per-queue signal-read child ("ccnic.signal_reads{queue=N}"),
+        /// resolved once at construction so the hot path pays a
+        /// pointer chase, not a label lookup.
+        obs::Counter *sigReads = nullptr;
     };
 
     /** Device lifecycle state. */
@@ -312,9 +327,11 @@ class CcNic : public driver::NicInterface
     /// records tracepoints when tracing is enabled.
     /// @{
     void
-    noteSignalRead(mem::Addr a)
+    noteSignalRead(Queue &q, mem::Addr a)
     {
         signalReads_++;
+        if (q.sigReads)
+            q.sigReads->inc();
         obs::tracepoint(obs::EventKind::RingSignalRead, "ccnic.signal",
                         sim_.now(), a);
     }
@@ -350,6 +367,7 @@ class CcNic : public driver::NicInterface
     obs::Counter txCount_{"ccnic.tx_packets"};
     obs::Counter rxCrcDrops_{"ccnic.rx_crc_drops"};
     obs::Counter signalReads_{"ccnic.signal_reads"};
+    obs::LabeledCounter signalReadsQ_{"ccnic.signal_reads", "queue"};
     obs::Counter signalWrites_{"ccnic.signal_writes"};
     obs::Counter rxDelivered_{"ccnic.rx_delivered"};
     obs::Counter heartbeats_{"ccnic.heartbeats"};

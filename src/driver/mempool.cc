@@ -210,6 +210,11 @@ Mempool::allocBurst(mem::AgentId agent, std::uint32_t size_hint,
     }
 
     telem_.allocs += static_cast<std::uint64_t>(got);
+    if (got > 0) {
+        telem_.allocsByStripe.at(static_cast<std::uint64_t>(
+            static_cast<std::size_t>(stripe) % cs.stripes.size())) +=
+            static_cast<std::uint64_t>(got);
+    }
     if (got < count) {
         telem_.exhausted++;
         obs::tracepoint(obs::EventKind::PoolExhausted, "alloc.short",

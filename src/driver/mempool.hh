@@ -46,6 +46,9 @@ struct PoolTelemetry
         "pool.exhausted"};               ///< Burst came up short.
     obs::Gauge leaked{"pool.leaked"};    ///< High-water of buffers
                                          ///< outstanding at audit time.
+    /// Per-stripe alloc breakdown: pool.allocs{queue=N}. Stripes map
+    /// 1:1 to queues in the standard per-queue deployment.
+    obs::LabeledCounter allocsByStripe{"pool.allocs", "queue"};
 };
 
 /** Pool construction parameters and optimization toggles. */

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "mem/addr.hh"
+#include "obs/span.hh"
 #include "sim/time.hh"
 
 namespace ccn::driver {
@@ -77,6 +78,11 @@ struct PacketBuf
     std::uint32_t dst = 0;   ///< Fabric destination address.
     TransportHeader tp;      ///< Reliable-transport header (optional).
     /// @}
+
+    /// Lifecycle span slot (1-in-N sampled; inactive on most
+    /// packets). Activated by the NIC at TX enqueue, carried across
+    /// the wire, committed at host reap. See obs/span.hh.
+    obs::PacketSpan span;
 
     /// Second payload segment for zero-copy multi-segment TX (the
     /// DPDK extbuf pattern used by the key-value store's GET path).

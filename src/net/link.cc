@@ -12,6 +12,10 @@ Link::Link(sim::Simulator &sim, const LinkConfig &cfg, std::string name)
     : sim_(sim), cfg_(cfg), name_(std::move(name)), queue_(sim),
       faultRng_(cfg.faults.seed)
 {
+    dropsL_ = &dropsByLink_.at(name_);
+    faultDropsL_ = &faultDropsByLink_.at(name_);
+    downDropsL_ = &downDropsByLink_.at(name_);
+    peakQueueL_ = &peakQueueByLink_.at(name_);
     sim_.spawn(drainTask());
     if (cfg_.faults.upTime > 0 && cfg_.faults.downTime > 0)
         sim_.spawn(flapTask());
@@ -22,12 +26,14 @@ Link::send(const WirePacket &pkt)
 {
     if (!up_) {
         stats_.downDrops++;
+        (*downDropsL_)++;
         obs::tracepoint(obs::EventKind::LinkDrop, "link.dark",
                         sim_.now(), pkt.len);
         return false;
     }
     if (queue_.size() >= cfg_.queuePackets) {
         stats_.drops++;
+        (*dropsL_)++;
         stats_.dropBytes += pkt.len;
         obs::tracepoint(obs::EventKind::LinkDrop, "link.tail_drop",
                         sim_.now(), pkt.len);
@@ -35,6 +41,7 @@ Link::send(const WirePacket &pkt)
     }
     queue_.put(pkt);
     stats_.peakQueue.observe(queue_.size());
+    peakQueueL_->observe(queue_.size());
     return true;
 }
 
@@ -77,6 +84,7 @@ Link::arrive(WirePacket pkt)
     // A dark link loses everything in flight.
     if (!up_) {
         stats_.downDrops++;
+        (*downDropsL_)++;
         obs::tracepoint(obs::EventKind::LinkDrop, "link.dark",
                         sim_.now(), pkt.len);
         return;
@@ -85,12 +93,14 @@ Link::arrive(WirePacket pkt)
     if (forceDrop_ > 0) {
         forceDrop_--;
         stats_.faultDrops++;
+        (*faultDropsL_)++;
         obs::tracepoint(obs::EventKind::LinkDrop, "link.fault_drop",
                         sim_.now(), pkt.len);
         return;
     }
     if (f.dropRate > 0 && faultRng_.chance(f.dropRate)) {
         stats_.faultDrops++;
+        (*faultDropsL_)++;
         obs::tracepoint(obs::EventKind::LinkDrop, "link.fault_drop",
                         sim_.now(), pkt.len);
         return;

@@ -176,6 +176,21 @@ class Link
     std::function<void(const WirePacket &)> sink_;
     LinkStats stats_;
 
+    /// @name Per-link labeled children ("net.link.*{link=<name>}").
+    /// The family objects own the children; the raw pointers cache
+    /// this link's child so drop paths skip the label lookup.
+    /// @{
+    obs::LabeledCounter dropsByLink_{"net.link.drops", "link"};
+    obs::LabeledCounter faultDropsByLink_{"net.link.fault_drops",
+                                          "link"};
+    obs::LabeledCounter downDropsByLink_{"net.link.down_drops", "link"};
+    obs::LabeledGauge peakQueueByLink_{"net.link.peak_queue", "link"};
+    obs::Counter *dropsL_ = nullptr;
+    obs::Counter *faultDropsL_ = nullptr;
+    obs::Counter *downDropsL_ = nullptr;
+    obs::Gauge *peakQueueL_ = nullptr;
+    /// @}
+
     sim::Rng faultRng_;
     bool up_ = true;
     std::uint64_t forceDrop_ = 0;

@@ -128,6 +128,8 @@ PcieNic::PcieNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     for (int q = 0; q < num_queues; ++q) {
         queues_.push_back(std::make_unique<Queue>(sim_, mem_, params_,
                                                   host_socket, link_));
+        queues_.back()->doorbellsQ =
+            &doorbellsQ_.at(static_cast<std::uint64_t>(q));
     }
 }
 
@@ -283,11 +285,13 @@ PcieNic::deliverTx(int q, const WirePacket &pkt)
     txCount_++;
     // TX checksum offload: every packet leaves with a valid FCS.
     WirePacket out = pkt;
+    out.span.stamp(obs::SpanStage::WireTx, sim_.now());
     out.fcs = ccnic::wireFcs(out);
     if (!loopback_ && txSink_) {
         txSink_(q, out);
         return;
     }
+    out.span.stamp(obs::SpanStage::LinkDeliver, sim_.now());
     queues_[q]->rxInput.put(out);
 }
 
@@ -298,7 +302,9 @@ PcieNic::injectRx(int q, const WirePacket &pkt)
         rxCrcDrops_++;
         return;
     }
-    queues_[q]->rxInput.put(pkt);
+    WirePacket in = pkt;
+    in.span.stamp(obs::SpanStage::LinkDeliver, sim_.now());
+    queues_[q]->rxInput.put(in);
 }
 
 sim::Coro<int>
@@ -311,9 +317,12 @@ PcieNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs,
         costs_.perAllocFree * std::max(1, count / 8)));
     int got = co_await pool_->allocBurst(queue.hostAgent, 2048, bufs,
                                          count, q);
-    // Recycled buffers must not leak a previous transport header.
-    for (int i = 0; i < got; ++i)
+    // Recycled buffers must not leak a previous transport header or
+    // lifecycle span.
+    for (int i = 0; i < got; ++i) {
         bufs[i]->tp = {};
+        bufs[i]->span.clear();
+    }
     co_return got;
 }
 
@@ -381,17 +390,21 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
             last_line = l;
         }
     }
+    for (const Pending &p : pending)
+        obs::SpanTable::global().maybeStart(p.buf->span, sim_.now());
     co_await sim_.delay(mem_.config().cycles(
         (costs_.perPktTx + costs_.perDesc) * count));
     {
         Queue *qp = &queue;
-        auto publish = [qp, pending]() {
+        auto publish = [qp, pending, simp = &sim_]() {
             for (const Pending &p : pending) {
                 auto &slot = qp->tx.slot(p.idx);
                 slot.buf = p.buf;
                 slot.len = p.buf->wireLen();
                 slot.ready = true;
                 qp->txShadow[p.idx & qp->tx.mask()] = p.buf;
+                p.buf->span.stamp(obs::SpanStage::DescPublish,
+                                  simp->now());
             }
         };
         co_await mem_.postMulti(queue.hostAgent, spans,
@@ -404,6 +417,7 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
     // WC doorbell write; E810 uses a plain UC tail update.
     const std::uint32_t tail = queue.txProd;
     doorbells_++;
+    (*queue.doorbellsQ)++;
     obs::tracepoint(obs::EventKind::RingDoorbell, "pcie.tx_tail",
                     sim_.now(), tail);
     if (params_.inlineDoorbellDesc) {
@@ -450,6 +464,12 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
         co_await sim_.delay(mem_.config().cycles(
             (costs_.perPktRx + costs_.perDesc) * collected));
         queue.rxDeliveredTotal += static_cast<std::uint64_t>(collected);
+        for (int i = 0; i < collected; ++i) {
+            if (bufs[i]->span.active)
+                obs::SpanTable::global().commit(params_.name,
+                                                bufs[i]->span,
+                                                sim_.now());
+        }
     }
 
     // Repost blank buffers and ring the RX tail doorbell in batches.
@@ -488,6 +508,7 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
                                 std::move(publish));
         // Batched RX tail doorbell.
         doorbells_++;
+        (*queue.doorbellsQ)++;
         obs::tracepoint(obs::EventKind::RingDoorbell, "pcie.rx_tail",
                         sim_.now(), queue.rxPostProd);
         co_await link_.mmioUcWrite(4);
@@ -558,9 +579,12 @@ PcieNic::devTxEngine(int q)
                 if (!b)
                     continue;
                 spans.push_back({b->addr, b->len});
+                b->span.stamp(obs::SpanStage::NicObserve, sim_.now());
                 WirePacket wp{slot.len, b->txTime, b->flowId,
                               b->userData, 1, b->src, b->dst};
                 wp.tp = b->tp;
+                wp.span = b->span;
+                b->span.clear();
                 if (b->nextSeg) {
                     spans.push_back({b->nextSeg->addr, b->segLen});
                     wp.segments = 2;
@@ -660,6 +684,8 @@ PcieNic::devRxEngine(int q)
             b->src = batch[i].src;
             b->dst = batch[i].dst;
             b->tp = batch[i].tp;
+            b->span = batch[i].span;
+            b->span.stamp(obs::SpanStage::RxPublish, sim_.now());
             slot.len = b->len;
             slot.meta = kRxCompleted;
             slot.ready = true;

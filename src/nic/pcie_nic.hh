@@ -198,6 +198,9 @@ class PcieNic : public driver::NicInterface
         std::uint64_t txSubmittedTotal = 0;
         std::uint64_t txCompletedTotal = 0;
         std::uint64_t rxDeliveredTotal = 0;
+
+        /// Per-queue doorbell child of pcie_nic.doorbells{queue=}.
+        obs::Counter *doorbellsQ = nullptr;
     };
 
     /** Device lifecycle state. */
@@ -238,6 +241,7 @@ class PcieNic : public driver::NicInterface
     bool loopback_ = true;
     obs::Counter rxCrcDrops_{"pcie_nic.rx_crc_drops"};
     obs::Counter doorbells_{"pcie_nic.doorbells"};
+    obs::LabeledCounter doorbellsQ_{"pcie_nic.doorbells", "queue"};
     obs::Counter txCount_{"pcie_nic.tx_packets"};
     obs::Counter resets_{"pcie_nic.resets"};
     obs::Counter resetReclaimed_{"pcie_nic.reset_reclaimed_bufs"};

@@ -77,7 +77,13 @@ Registry::value(const std::string &name) const
     return v;
 }
 
-std::vector<std::pair<std::string, std::uint64_t>>
+const char *
+metricKindName(MetricKind k)
+{
+    return k == MetricKind::Gauge ? "gauge" : "counter";
+}
+
+std::vector<Registry::MetricValue>
 Registry::all() const
 {
     // Aggregate by name: retired totals first, then live instances.
@@ -90,19 +96,23 @@ Registry::all() const
         else
             r.value += m->value();
     }
-    std::vector<std::pair<std::string, std::uint64_t>> out;
+    std::vector<MetricValue> out;
     out.reserve(agg.size());
     for (const auto &[name, r] : agg)
-        out.emplace_back(name, r.value);
+        out.push_back({name, r.kind, r.value});
     return out;
 }
 
 stats::Table
 Registry::snapshot() const
 {
-    stats::Table t({"counter", "value"});
-    for (const auto &[name, value] : all())
-        t.row().cell(name).cell(value);
+    stats::Table t({"counter", "kind", "value"});
+    for (const MetricValue &m : all()) {
+        t.row()
+            .cell(m.name)
+            .cell(metricKindName(m.kind))
+            .cell(m.value);
+    }
     return t;
 }
 
@@ -133,6 +143,7 @@ eventKindName(EventKind k)
     case EventKind::TransportAbort: return "transport.abort";
     case EventKind::LinkDrop: return "link.drop";
     case EventKind::PoolExhausted: return "pool.exhausted";
+    case EventKind::SpanStage: return "span.stage";
     case EventKind::Custom: break;
     }
     return "custom";

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,9 @@ enum class MetricKind : std::uint8_t
     Counter, ///< Sum of live values + retired totals.
     Gauge,   ///< Max of live values and retired maxima.
 };
+
+/** Kind label as emitted in snapshots ("counter" / "gauge"). */
+const char *metricKindName(MetricKind k);
 
 /**
  * Base of all registered metrics. Holds the current value and the
@@ -133,13 +137,23 @@ class Registry
     /** Aggregated value of @p name (0 if never registered). */
     std::uint64_t value(const std::string &name) const;
 
-    /** All (name, aggregated value) pairs, sorted by name. */
-    std::vector<std::pair<std::string, std::uint64_t>> all() const;
+    /** One aggregated metric, as returned by all(). */
+    struct MetricValue
+    {
+        std::string name;
+        MetricKind kind;
+        std::uint64_t value;
+    };
+
+    /** All aggregated (name, kind, value) entries, sorted by name. */
+    std::vector<MetricValue> all() const;
 
     /**
-     * Dump every metric into a two-column table ("counter",
-     * "value"), sorted by name — feed straight to
-     * stats::JsonReport::add("counters", ...).
+     * Dump every metric into a three-column table ("counter",
+     * "kind", "value"), sorted by name — feed straight to
+     * stats::JsonReport::add("counters", ...). The kind column keeps
+     * downstream diff tools (tools/counters_gate.py) from treating
+     * gauges as monotonic counters.
      */
     stats::Table snapshot() const;
 
@@ -165,6 +179,85 @@ class Registry
     std::vector<Metric *> live_;
     std::map<std::string, Retired> retired_;
 };
+
+/**
+ * A family of metrics sharing a stable base name, split by one label
+ * with a *bounded* value set: children register as
+ * "base{key=value}". Per-queue / per-connection / per-link detail
+ * shows up in every snapshot without unbounded namespace growth —
+ * once maxLabels distinct values have been seen, further values fold
+ * into the "{key=other}" child.
+ *
+ * Children are ordinary registered metrics, so same-named children
+ * across Labeled instances (e.g. one per Link) aggregate in the
+ * Registry exactly like any other same-named metrics. The family
+ * does not register an aggregate itself: pair it with a plain
+ * Counter/Gauge under the bare base name when a total is wanted.
+ */
+template <typename M>
+class Labeled
+{
+  public:
+    Labeled(std::string base, std::string key,
+            std::size_t max_labels = 16)
+        : base_(std::move(base)), key_(std::move(key)),
+          maxLabels_(max_labels ? max_labels : 1)
+    {
+    }
+
+    /** Child for @p label, creating (or folding to "other") it. */
+    M &
+    at(const std::string &label)
+    {
+        auto it = children_.find(label);
+        if (it != children_.end())
+            return *it->second;
+        if (children_.size() >= maxLabels_) {
+            auto o = children_.find(kOther);
+            if (o != children_.end())
+                return *o->second;
+            return emplace(kOther);
+        }
+        return emplace(label);
+    }
+
+    M &at(std::uint64_t label) { return at(std::to_string(label)); }
+
+    /** Registered full name for @p label. */
+    std::string
+    fullName(const std::string &label) const
+    {
+        return base_ + "{" + key_ + "=" + label + "}";
+    }
+
+    /** Distinct children created so far (incl. "other"). */
+    std::size_t labelCount() const { return children_.size(); }
+
+    const std::string &base() const { return base_; }
+
+  private:
+    static constexpr const char *kOther = "other";
+
+    M &
+    emplace(const std::string &label)
+    {
+        auto m = std::make_unique<M>(fullName(label));
+        M &ref = *m;
+        children_.emplace(label, std::move(m));
+        return ref;
+    }
+
+    std::string base_;
+    std::string key_;
+    std::size_t maxLabels_;
+    std::map<std::string, std::unique_ptr<M>> children_;
+};
+
+/** Counter family split by one bounded label. */
+using LabeledCounter = Labeled<Counter>;
+
+/** Gauge family split by one bounded label. */
+using LabeledGauge = Labeled<Gauge>;
 
 } // namespace ccn::obs
 

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sampler implementation: the process-wide row ring and the periodic
+ * sampling task.
+ */
+
+#include "obs/sampler.hh"
+
+namespace ccn::obs {
+
+namespace {
+
+struct Ring
+{
+    std::deque<Sampler::Row> rows;
+    std::size_t capacity = 8192;
+    std::uint64_t dropped = 0;
+    std::uint64_t nextRun = 1;
+};
+
+Ring &
+ring()
+{
+    static Ring r;
+    return r;
+}
+
+void
+push(Sampler::Row row)
+{
+    Ring &r = ring();
+    while (r.rows.size() >= r.capacity) {
+        r.rows.pop_front();
+        r.dropped++;
+    }
+    r.rows.push_back(std::move(row));
+}
+
+} // namespace
+
+Sampler::Sampler(sim::Simulator &sim, sim::Tick interval)
+    : sim_(sim), interval_(interval ? interval : sim::fromUs(25.0)),
+      run_(ring().nextRun++)
+{
+}
+
+void
+Sampler::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    sim_.spawn(pump());
+}
+
+sim::Task
+Sampler::pump()
+{
+    for (;;) {
+        co_await sim_.delay(interval_);
+        sampleNow();
+    }
+}
+
+void
+Sampler::sampleNow()
+{
+    const sim::Tick now = sim_.now();
+    for (const Registry::MetricValue &m : Registry::global().all()) {
+        auto it = prev_.find(m.name);
+        const bool seen = it != prev_.end();
+        const std::uint64_t last = seen ? it->second : 0;
+        if (m.kind == MetricKind::Gauge) {
+            if (seen && m.value == last)
+                continue;
+            if (!seen && m.value == 0)
+                continue;
+            push({run_, now, m.name, m.kind, m.value, 0});
+        } else {
+            // Reset-aware: a counter dropping below the previous
+            // reading means Registry::reset() ran; the delta is the
+            // activity since the reset, not a wrapped difference.
+            const std::uint64_t delta =
+                m.value >= last ? m.value - last : m.value;
+            if (delta == 0) {
+                if (seen)
+                    it->second = m.value;
+                else
+                    prev_.emplace(m.name, m.value);
+                continue;
+            }
+            push({run_, now, m.name, m.kind, m.value, delta});
+        }
+        if (seen)
+            it->second = m.value;
+        else
+            prev_.emplace(m.name, m.value);
+    }
+}
+
+const std::deque<Sampler::Row> &
+Sampler::rows()
+{
+    return ring().rows;
+}
+
+std::uint64_t
+Sampler::droppedRows()
+{
+    return ring().dropped;
+}
+
+void
+Sampler::setCapacity(std::size_t cap)
+{
+    Ring &r = ring();
+    r.capacity = cap ? cap : 1;
+    while (r.rows.size() > r.capacity) {
+        r.rows.pop_front();
+        r.dropped++;
+    }
+}
+
+void
+Sampler::clearRows()
+{
+    Ring &r = ring();
+    r.rows.clear();
+    r.dropped = 0;
+}
+
+stats::Table
+Sampler::table()
+{
+    stats::Table t(
+        {"run", "t_us", "metric", "kind", "value", "delta"});
+    for (const Row &row : rows()) {
+        t.row()
+            .cell(row.run)
+            .cell(sim::toUs(row.tick), 3)
+            .cell(row.metric)
+            .cell(metricKindName(row.kind))
+            .cell(row.value)
+            .cell(row.delta);
+    }
+    return t;
+}
+
+} // namespace ccn::obs

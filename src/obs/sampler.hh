@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Time-series sampler: periodic registry-delta snapshots.
+ *
+ * End-of-run counter totals cannot distinguish "retransmitted during
+ * the induced loss burst" from "retransmitted on the loss-free
+ * phase" — rates matter. A Sampler is a sim task that wakes every
+ * configurable sim-interval, reads the registry, and appends one row
+ * per *changed* metric (counter delta, or gauge value change) to a
+ * process-wide bounded ring. Benches export the ring as their
+ * "timeseries" JSON section, which is what lets the counters gate
+ * check rates (e.g. transport.retransmits deltas staying zero on
+ * loss-free phases) rather than only end totals.
+ *
+ * Deltas are reset-aware: after Registry::reset() a counter's value
+ * drops below the sampler's previous reading, and the delta is taken
+ * as the new value rather than a wrapped difference. Gauges are not
+ * monotonic, so their rows carry a delta of 0 and are emitted
+ * whenever the value changed in either direction.
+ *
+ * The ring is process-wide (like Registry/Trace/SpanTable) because
+ * benches build and destroy a World per sweep point; each Sampler
+ * instance tags its rows with a distinct run id.
+ */
+
+#ifndef CCN_OBS_SAMPLER_HH
+#define CCN_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "obs/obs.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+#include "stats/table.hh"
+
+namespace ccn::obs {
+
+/** Periodic registry snapshotter for one simulator instance. */
+class Sampler
+{
+  public:
+    /** One changed-metric observation. */
+    struct Row
+    {
+        std::uint64_t run;  ///< Sampler instance id (per World).
+        sim::Tick tick;     ///< Sim time of the sample.
+        std::string metric;
+        MetricKind kind;
+        std::uint64_t value; ///< Aggregated registry value.
+        std::uint64_t delta; ///< Counter delta since last sample
+                             ///< (0 for gauges).
+    };
+
+    explicit Sampler(sim::Simulator &sim,
+                     sim::Tick interval = sim::fromUs(25.0));
+
+    /** Spawn the periodic sampling task. Call at most once. */
+    void start();
+
+    /** Take one sample immediately (also used by the task). */
+    void sampleNow();
+
+    std::uint64_t runId() const { return run_; }
+    sim::Tick interval() const { return interval_; }
+
+    /// @name The process-wide bounded row ring.
+    /// @{
+    /** Oldest-first retained rows. */
+    static const std::deque<Row> &rows();
+
+    /** Rows evicted because the ring was full. */
+    static std::uint64_t droppedRows();
+
+    /** Resize the ring (evicts oldest if shrinking). */
+    static void setCapacity(std::size_t cap);
+
+    /** Drop all retained rows (capacity unchanged). */
+    static void clearRows();
+
+    /**
+     * Export the ring as a table — the "timeseries" JSON section:
+     * columns run, t_us, metric, kind, value, delta.
+     */
+    static stats::Table table();
+    /// @}
+
+  private:
+    sim::Task pump();
+
+    sim::Simulator &sim_;
+    sim::Tick interval_;
+    std::uint64_t run_;
+    bool started_ = false;
+    std::map<std::string, std::uint64_t> prev_;
+};
+
+} // namespace ccn::obs
+
+#endif // CCN_OBS_SAMPLER_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SpanTable implementation: stage naming, commit/record, and the
+ * "latency" table export.
+ */
+
+#include "obs/span.hh"
+
+namespace ccn::obs {
+
+const char *
+spanStageName(SpanStage s)
+{
+    switch (s) {
+    case SpanStage::HostEnqueue: return "host_enqueue";
+    case SpanStage::DescPublish: return "desc_publish";
+    case SpanStage::NicObserve: return "nic_observe";
+    case SpanStage::WireTx: return "wire_tx";
+    case SpanStage::LinkDeliver: return "link_deliver";
+    case SpanStage::RxPublish: return "rx_publish";
+    case SpanStage::HostReap: return "host_reap";
+    }
+    return "?";
+}
+
+const char *
+spanStageTraceName(SpanStage s)
+{
+    switch (s) {
+    case SpanStage::HostEnqueue: return "span.host_enqueue";
+    case SpanStage::DescPublish: return "span.desc_publish";
+    case SpanStage::NicObserve: return "span.nic_observe";
+    case SpanStage::WireTx: return "span.wire_tx";
+    case SpanStage::LinkDeliver: return "span.link_deliver";
+    case SpanStage::RxPublish: return "span.rx_publish";
+    case SpanStage::HostReap: return "span.host_reap";
+    }
+    return "span.?";
+}
+
+SpanTable &
+SpanTable::global()
+{
+    static SpanTable t;
+    return t;
+}
+
+void
+SpanTable::commit(const std::string &path, PacketSpan &span,
+                  sim::Tick now)
+{
+    if (!span.active)
+        return;
+    span.stamp(SpanStage::HostReap, now);
+
+    // Monotonicity across stages is guaranteed by construction (each
+    // stage stamps at its own sim time, and sim time never runs
+    // backwards), but a span that skipped a stage must not record a
+    // garbage delta.
+    if (!span.complete()) {
+        incomplete_++;
+        span.clear();
+        return;
+    }
+    PathStats &p = paths_[path];
+    for (std::size_t i = 0; i + 1 < kSpanStages; ++i)
+        p.stage[i].record(span.t[i + 1] - span.t[i]);
+    p.e2e.record(span.t[kSpanStages - 1] - span.t[0]);
+    committed_++;
+    span.clear();
+}
+
+stats::Table
+SpanTable::table() const
+{
+    stats::Table t({"path", "stage", "count", "p50_ns", "p99_ns",
+                    "max_ns"});
+    auto emit = [&t](const std::string &path, const std::string &stage,
+                     const stats::Histogram &h) {
+        t.row()
+            .cell(path)
+            .cell(stage)
+            .cell(h.count())
+            .cell(sim::toNs(h.percentile(50.0)), 1)
+            .cell(sim::toNs(h.percentile(99.0)), 1)
+            .cell(sim::toNs(h.max()), 1);
+    };
+    for (const auto &[path, p] : paths_) {
+        for (std::size_t i = 0; i + 1 < kSpanStages; ++i) {
+            const std::string stage =
+                std::string(spanStageName(
+                    static_cast<SpanStage>(i))) +
+                "->" +
+                spanStageName(static_cast<SpanStage>(i + 1));
+            emit(path, stage, p.stage[i]);
+        }
+        emit(path, "end_to_end", p.e2e);
+    }
+    return t;
+}
+
+const stats::Histogram *
+SpanTable::stageHist(const std::string &path, std::size_t from) const
+{
+    auto it = paths_.find(path);
+    if (it == paths_.end() || from + 1 >= kSpanStages)
+        return nullptr;
+    return &it->second.stage[from];
+}
+
+const stats::Histogram *
+SpanTable::endToEnd(const std::string &path) const
+{
+    auto it = paths_.find(path);
+    return it == paths_.end() ? nullptr : &it->second.e2e;
+}
+
+void
+SpanTable::reset()
+{
+    paths_.clear();
+    clock_ = 0;
+    started_.zero();
+    committed_.zero();
+    incomplete_.zero();
+}
+
+} // namespace ccn::obs

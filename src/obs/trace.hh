@@ -46,6 +46,7 @@ enum class EventKind : std::uint8_t
     TransportAbort,      ///< Connection gave up.
     LinkDrop,            ///< Tail-drop, fault drop, or dark-link drop.
     PoolExhausted,       ///< Mempool alloc had to wait.
+    SpanStage,           ///< Packet lifecycle stage stamp (arg = span id).
     Custom,              ///< Anything else (see name).
 };
 

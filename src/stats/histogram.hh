@@ -51,6 +51,9 @@ class Histogram
     /** Number of recorded samples. */
     std::uint64_t count() const { return total_; }
 
+    /** Exact sum of recorded values (not bucket-quantized). */
+    std::uint64_t sum() const { return sum_; }
+
     /** Smallest recorded value (0 if empty). */
     std::uint64_t min() const { return total_ ? min_ : 0; }
 

@@ -456,6 +456,8 @@ Endpoint::retransmitFirst(Connection &c, bool fast)
             stats_.fastRetransmits++;
         else
             stats_.retransmits++;
+        stats_.retransmitsByConn.at(
+            static_cast<std::uint64_t>(c.localId_))++;
         obs::tracepoint(obs::EventKind::TransportRetransmit,
                         fast ? "rtx.fast" : "rtx.timeout", sim_.now(),
                         seq);

@@ -148,6 +148,13 @@ struct TransportStats
                                                     ///< resync after a reset
                                                     ///< (not retransmits: the
                                                     ///< loss was local).
+
+    /// Per-connection retransmit breakdown
+    /// ("transport.retransmits_total{conn=N}", timeout + fast
+    /// combined). Bounded: connections past the first 8 fold into
+    /// {conn=other}.
+    obs::LabeledCounter retransmitsByConn{
+        "transport.retransmits_total", "conn", 8};
 };
 
 /** One application-visible message. */

@@ -9,6 +9,7 @@
 
 #include "ccnic/ccnic.hh"
 #include "mem/platform.hh"
+#include "obs/span.hh"
 #include "workload/loopback.hh"
 
 namespace {
@@ -237,6 +238,43 @@ TEST(CcNicTelemetry, SignalCountersMoveWithTraffic)
     EXPECT_GT(w.nic.signalReads(), 0u);
     EXPECT_EQ(obs::Registry::global().value("ccnic.signal_writes"),
               w.nic.signalWrites());
+}
+
+// Lifecycle spans on a loss-free loopback: sampling every packet, the
+// per-stage histograms must telescope exactly — the sum of the six
+// adjacent-stage latencies of every committed span equals its
+// host-to-host latency, so the histogram sums match to the tick.
+TEST(CcNicTelemetry, LossFreeSpanStageSumsMatchEndToEnd)
+{
+    obs::SpanTable &st = obs::SpanTable::global();
+    st.reset();
+    st.setSampleEvery(1);
+
+    World w(mem::icxConfig(), ccnic::optimizedConfig(1, 0));
+    workload::LoopbackConfig cfg;
+    cfg.threads = 1;
+    cfg.closedWindow = 1;
+    cfg.window = sim::fromUs(300.0);
+    auto r = workload::runLoopback(w.simv, w.system, w.nic, cfg);
+    ASSERT_GT(r.rxPackets, 100u);
+
+    EXPECT_GT(st.committed(), 0u);
+    EXPECT_EQ(st.incomplete(), 0u);
+    const stats::Histogram *e2e = st.endToEnd("ccnic");
+    ASSERT_NE(e2e, nullptr);
+    EXPECT_EQ(e2e->count(), st.committed());
+
+    std::uint64_t stage_sum = 0;
+    for (std::size_t i = 0; i + 1 < obs::kSpanStages; ++i) {
+        const stats::Histogram *h = st.stageHist("ccnic", i);
+        ASSERT_NE(h, nullptr);
+        EXPECT_EQ(h->count(), e2e->count());
+        stage_sum += h->sum();
+    }
+    EXPECT_EQ(stage_sum, e2e->sum());
+
+    st.setSampleEvery(16);
+    st.reset();
 }
 
 } // namespace

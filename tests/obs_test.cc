@@ -9,28 +9,33 @@
 #include <string>
 
 #include "obs/obs.hh"
+#include "obs/sampler.hh"
+#include "obs/span.hh"
 #include "obs/trace.hh"
+#include "sim/simulator.hh"
 
 namespace obs = ccn::obs;
+namespace sim = ccn::sim;
 
 namespace {
 
-/** Reset the global registry/trace around each test. */
+/** Reset every process-wide obs facility around each test. */
 class ObsTest : public ::testing::Test
 {
   protected:
-    void SetUp() override
-    {
-        obs::Registry::global().reset();
-        obs::Trace::global().disable();
-        obs::Trace::global().clear();
-    }
+    void SetUp() override { resetAll(); }
+    void TearDown() override { resetAll(); }
 
-    void TearDown() override
+    static void
+    resetAll()
     {
         obs::Registry::global().reset();
         obs::Trace::global().disable();
         obs::Trace::global().clear();
+        obs::SpanTable::global().reset();
+        obs::SpanTable::global().setSampleEvery(16);
+        obs::Sampler::clearRows();
+        obs::Sampler::setCapacity(8192);
     }
 };
 
@@ -91,14 +96,49 @@ TEST_F(ObsTest, SnapshotProducesSortedTable)
     a.inc(1);
     b.inc(2);
     const ccn::stats::Table t = obs::Registry::global().snapshot();
-    ASSERT_EQ(t.headers().size(), 2u);
+    ASSERT_EQ(t.headers().size(), 3u);
     EXPECT_EQ(t.headers()[0], "counter");
-    EXPECT_EQ(t.headers()[1], "value");
-    ASSERT_EQ(t.rows().size(), 2u);
-    EXPECT_EQ(t.rows()[0][0], "test.aaa");
-    EXPECT_EQ(t.rows()[0][1], "1");
-    EXPECT_EQ(t.rows()[1][0], "test.bbb");
-    EXPECT_EQ(t.rows()[1][1], "2");
+    EXPECT_EQ(t.headers()[1], "kind");
+    EXPECT_EQ(t.headers()[2], "value");
+    // Other process-wide metrics (e.g. the span-table counters) may
+    // share the snapshot; find ours and check ordering between them.
+    std::ptrdiff_t ia = -1, ib = -1;
+    for (std::size_t i = 0; i < t.rows().size(); ++i) {
+        if (t.rows()[i][0] == "test.aaa")
+            ia = static_cast<std::ptrdiff_t>(i);
+        if (t.rows()[i][0] == "test.bbb")
+            ib = static_cast<std::ptrdiff_t>(i);
+    }
+    ASSERT_GE(ia, 0);
+    ASSERT_GE(ib, 0);
+    EXPECT_LT(ia, ib); // Sorted by name.
+    EXPECT_EQ(t.rows()[static_cast<std::size_t>(ia)][1], "counter");
+    EXPECT_EQ(t.rows()[static_cast<std::size_t>(ia)][2], "1");
+    EXPECT_EQ(t.rows()[static_cast<std::size_t>(ib)][2], "2");
+}
+
+TEST_F(ObsTest, SnapshotLabelsGaugeKind)
+{
+    obs::Counter c("test.count");
+    obs::Gauge g("test.peak");
+    c.inc(4);
+    g.observe(9);
+    const ccn::stats::Table t = obs::Registry::global().snapshot();
+    bool saw_counter = false, saw_gauge = false;
+    for (const auto &row : t.rows()) {
+        if (row[0] == "test.count") {
+            saw_counter = true;
+            EXPECT_EQ(row[1], "counter");
+            EXPECT_EQ(row[2], "4");
+        }
+        if (row[0] == "test.peak") {
+            saw_gauge = true;
+            EXPECT_EQ(row[1], "gauge");
+            EXPECT_EQ(row[2], "9");
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
 }
 
 TEST_F(ObsTest, ResetZeroesLiveAndDropsRetired)
@@ -148,6 +188,253 @@ TEST_F(ObsTest, TraceRingIsBoundedAndCountsDrops)
     ASSERT_EQ(ev.size(), 4u);
     for (std::size_t i = 0; i < 4; ++i)
         EXPECT_EQ(ev[i].tick, 6 + i);
+}
+
+TEST_F(ObsTest, TraceAtExactCapacityDropsNothing)
+{
+    obs::Trace &tr = obs::Trace::global();
+    tr.enable(4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        obs::tracepoint(obs::EventKind::Custom, "e", i, i);
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.dropped(), 0u);
+    const auto ev = tr.events();
+    ASSERT_EQ(ev.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ev[i].tick, i);
+}
+
+TEST_F(ObsTest, TraceOnePastCapacityDropsExactlyOldest)
+{
+    obs::Trace &tr = obs::Trace::global();
+    tr.enable(4);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        obs::tracepoint(obs::EventKind::Custom, "e", i, i);
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.dropped(), 1u);
+    const auto ev = tr.events();
+    ASSERT_EQ(ev.size(), 4u);
+    // Event 0 was overwritten; 1..4 remain oldest-first.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(ev[i].tick, 1 + i);
+}
+
+// ---------------------------------------------------------------------------
+// Labeled metric families.
+
+TEST_F(ObsTest, LabeledChildrenRegisterWithFullNames)
+{
+    obs::LabeledCounter fam("test.reads", "queue");
+    fam.at(std::uint64_t{0}).inc(3);
+    fam.at(std::uint64_t{1}).inc(4);
+    EXPECT_EQ(fam.fullName("0"), "test.reads{queue=0}");
+    EXPECT_EQ(fam.labelCount(), 2u);
+    EXPECT_EQ(obs::Registry::global().value("test.reads{queue=0}"), 3u);
+    EXPECT_EQ(obs::Registry::global().value("test.reads{queue=1}"), 4u);
+    // The family itself registers no aggregate under the base name.
+    EXPECT_EQ(obs::Registry::global().value("test.reads"), 0u);
+}
+
+TEST_F(ObsTest, LabeledOverflowFoldsIntoOther)
+{
+    obs::LabeledCounter fam("test.conns", "conn", 2);
+    fam.at("a").inc(1);
+    fam.at("b").inc(1);
+    fam.at("c").inc(5); // Third distinct label: folds.
+    fam.at("d").inc(2); // Also folds, same child.
+    EXPECT_EQ(fam.labelCount(), 3u); // a, b, other.
+    EXPECT_EQ(obs::Registry::global().value("test.conns{conn=other}"),
+              7u);
+    EXPECT_EQ(obs::Registry::global().value("test.conns{conn=c}"), 0u);
+    // An already-created label keeps resolving to its own child.
+    fam.at("a").inc(1);
+    EXPECT_EQ(obs::Registry::global().value("test.conns{conn=a}"), 2u);
+}
+
+TEST_F(ObsTest, LabeledChildrenAggregateAcrossFamilies)
+{
+    // One family per owning object (e.g. per Link); same-named
+    // children sum in the registry like any other metrics.
+    obs::LabeledCounter fam1("test.drops", "link");
+    obs::LabeledCounter fam2("test.drops", "link");
+    fam1.at("eth0").inc(2);
+    fam2.at("eth0").inc(3);
+    EXPECT_EQ(obs::Registry::global().value("test.drops{link=eth0}"),
+              5u);
+}
+
+// ---------------------------------------------------------------------------
+// Time-series sampler.
+
+TEST_F(ObsTest, SamplerEmitsCounterDeltas)
+{
+    sim::Simulator simv;
+    obs::Sampler s(simv);
+    obs::Counter c("test.x");
+    c.inc(10);
+    s.sampleNow();
+    c.inc(7);
+    s.sampleNow();
+
+    std::vector<obs::Sampler::Row> mine;
+    for (const auto &r : obs::Sampler::rows())
+        if (r.metric == "test.x")
+            mine.push_back(r);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0].value, 10u);
+    EXPECT_EQ(mine[0].delta, 10u);
+    EXPECT_EQ(mine[1].value, 17u);
+    EXPECT_EQ(mine[1].delta, 7u);
+}
+
+TEST_F(ObsTest, SamplerDeltaSurvivesRegistryReset)
+{
+    sim::Simulator simv;
+    obs::Sampler s(simv);
+    obs::Counter c("test.x");
+    c.inc(10);
+    s.sampleNow();
+    // A reset drops the counter below the sampler's last reading; the
+    // next delta must be the new absolute value, not a wrapped diff.
+    obs::Registry::global().reset();
+    c.inc(3);
+    s.sampleNow();
+
+    std::vector<obs::Sampler::Row> mine;
+    for (const auto &r : obs::Sampler::rows())
+        if (r.metric == "test.x")
+            mine.push_back(r);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[1].value, 3u);
+    EXPECT_EQ(mine[1].delta, 3u);
+}
+
+TEST_F(ObsTest, SamplerGaugeRowsOnChangeOnly)
+{
+    sim::Simulator simv;
+    obs::Sampler s(simv);
+    obs::Gauge g("test.depth");
+    g.observe(5);
+    s.sampleNow();
+    s.sampleNow(); // Unchanged: no new row.
+    g.set(2);      // Gauges may move down; still a change.
+    s.sampleNow();
+
+    std::vector<obs::Sampler::Row> mine;
+    for (const auto &r : obs::Sampler::rows())
+        if (r.metric == "test.depth")
+            mine.push_back(r);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0].value, 5u);
+    EXPECT_EQ(mine[0].delta, 0u);
+    EXPECT_EQ(mine[0].kind, obs::MetricKind::Gauge);
+    EXPECT_EQ(mine[1].value, 2u);
+}
+
+TEST_F(ObsTest, SamplerTaskSamplesOnItsInterval)
+{
+    sim::Simulator simv;
+    obs::Sampler s(simv, sim::fromUs(10.0));
+    s.start();
+    obs::Counter c("test.x");
+    // Bump the counter between sample points.
+    simv.scheduleCallback(sim::fromUs(5.0), [&c] { c.inc(2); });
+    simv.scheduleCallback(sim::fromUs(15.0), [&c] { c.inc(4); });
+    simv.run(sim::fromUs(25.0));
+
+    std::vector<obs::Sampler::Row> mine;
+    for (const auto &r : obs::Sampler::rows())
+        if (r.metric == "test.x")
+            mine.push_back(r);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0].tick, sim::fromUs(10.0));
+    EXPECT_EQ(mine[0].delta, 2u);
+    EXPECT_EQ(mine[1].tick, sim::fromUs(20.0));
+    EXPECT_EQ(mine[1].delta, 4u);
+    EXPECT_EQ(mine[1].run, s.runId());
+}
+
+TEST_F(ObsTest, SamplerRingIsBounded)
+{
+    sim::Simulator simv;
+    obs::Sampler s(simv);
+    obs::Sampler::setCapacity(2);
+    obs::Counter a("test.a"), b("test.b"), c("test.c");
+    a.inc(1);
+    b.inc(1);
+    c.inc(1);
+    s.sampleNow(); // Three changed metrics into a two-row ring.
+    EXPECT_EQ(obs::Sampler::rows().size(), 2u);
+    EXPECT_GE(obs::Sampler::droppedRows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Packet lifecycle spans.
+
+TEST_F(ObsTest, SpanSamplingActivatesOneInN)
+{
+    obs::SpanTable &st = obs::SpanTable::global();
+    st.setSampleEvery(4);
+    int activated = 0;
+    for (int i = 0; i < 8; ++i) {
+        obs::PacketSpan sp;
+        if (st.maybeStart(sp, 100))
+            activated++;
+    }
+    EXPECT_EQ(activated, 2);
+    EXPECT_EQ(st.started(), 2u);
+}
+
+TEST_F(ObsTest, InactiveSpanStampsAreNoOps)
+{
+    obs::PacketSpan sp;
+    sp.stamp(obs::SpanStage::WireTx, 123);
+    EXPECT_EQ(sp.stamped, 0u);
+    EXPECT_FALSE(sp.complete());
+}
+
+TEST_F(ObsTest, SpanCommitRecordsStagePairHistograms)
+{
+    obs::SpanTable &st = obs::SpanTable::global();
+    st.setSampleEvery(1);
+    obs::PacketSpan sp;
+    ASSERT_TRUE(st.maybeStart(sp, 100)); // host_enqueue = 100.
+    sp.stamp(obs::SpanStage::DescPublish, 200);
+    sp.stamp(obs::SpanStage::NicObserve, 300);
+    sp.stamp(obs::SpanStage::WireTx, 450);
+    sp.stamp(obs::SpanStage::LinkDeliver, 500);
+    sp.stamp(obs::SpanStage::RxPublish, 600);
+    st.commit("test", sp, 700); // host_reap = 700.
+
+    EXPECT_EQ(st.committed(), 1u);
+    EXPECT_EQ(st.incomplete(), 0u);
+    EXPECT_FALSE(sp.active); // Deactivated on commit.
+    const auto *h0 = st.stageHist("test", 0);
+    ASSERT_NE(h0, nullptr);
+    EXPECT_EQ(h0->count(), 1u);
+    EXPECT_EQ(h0->sum(), 100u); // 200 - 100.
+    const auto *h2 = st.stageHist("test", 2);
+    ASSERT_NE(h2, nullptr);
+    EXPECT_EQ(h2->sum(), 150u); // 450 - 300.
+    const auto *e2e = st.endToEnd("test");
+    ASSERT_NE(e2e, nullptr);
+    EXPECT_EQ(e2e->count(), 1u);
+    EXPECT_EQ(e2e->sum(), 600u); // 700 - 100.
+}
+
+TEST_F(ObsTest, SpanMissingStageCountsIncomplete)
+{
+    obs::SpanTable &st = obs::SpanTable::global();
+    st.setSampleEvery(1);
+    obs::PacketSpan sp;
+    ASSERT_TRUE(st.maybeStart(sp, 100));
+    sp.stamp(obs::SpanStage::DescPublish, 200);
+    // NicObserve..RxPublish never stamped.
+    st.commit("test", sp, 700);
+    EXPECT_EQ(st.committed(), 0u);
+    EXPECT_EQ(st.incomplete(), 1u);
+    const auto *e2e = st.endToEnd("test");
+    EXPECT_TRUE(e2e == nullptr || e2e->count() == 0u);
 }
 
 TEST_F(ObsTest, ChromeJsonIsWellFormed)

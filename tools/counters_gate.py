@@ -3,7 +3,8 @@
 
 Reads BENCH_fabric_kvstore.json and checks the "counters_lossfree"
 section — a registry snapshot taken right after the loss-free reliable
-point, before any lossy or chaos sweep runs — against two invariants:
+point, before any lossy or chaos sweep runs — against built-in
+invariants plus (optionally) a checked-in baseline:
 
  1. Zero retransmissions on a loss-free fabric. transport.retransmits
     and transport.fast_retransmits firing without wire loss means the
@@ -16,13 +17,39 @@ point, before any lossy or chaos sweep runs — against two invariants:
     means someone broke the single-line signaling discipline or made a
     poll loop spin faster.
 
+ 3. Rate check: the "timeseries_lossfree" section (periodic sampler
+    deltas) must show zero retransmit deltas in every interval — an
+    end-of-run total of zero can hide a retransmit burst cancelled by
+    a Registry reset, the per-interval deltas cannot.
+
+ 4. Baseline diff (--baseline FILE): per-packet-normalized expected
+    counter values with a tolerance band. Counters listed under
+    "per_packet" are divided by the "normalize_by" counter and
+    compared against the recorded expectation; an increase beyond
+    (1 + tolerance) fails. Gauges are never normalized per-packet:
+    a gauge appearing in "per_packet" is a config error, and rows
+    are classified by the "kind" column of the snapshot. Metrics
+    under "zero" must be exactly zero.
+
+Regenerate the baseline after an intentional perf change with
+--write-baseline (then eyeball the diff before committing):
+
+    build/bench/bench_fabric_kvstore          # with CCN_JSON_DIR set
+    tools/counters_gate.py BENCH_fabric_kvstore.json \
+        --write-baseline bench/baselines/fabric_kvstore.json
+
 Usage: counters_gate.py <BENCH_fabric_kvstore.json>
            [--max-signal-reads-per-pkt N]
+           [--baseline bench/baselines/fabric_kvstore.json]
+           [--tolerance T] [--write-baseline OUT]
+       counters_gate.py --selftest
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 # Measured ~6.7 signal reads per delivered packet on the reference run
 # (idle-poll reads across 6 queue pairs dominate; the per-packet data
@@ -31,28 +58,58 @@ import sys
 # a poll loop spin per-packet (an order-of-magnitude jump).
 DEFAULT_MAX_SIGNAL_READS_PER_PKT = 32.0
 
+# Default tolerance band for baseline per-packet comparisons: the
+# simulator is deterministic, but baseline values are normalized
+# ratios and small shifts (batch boundaries, drain-phase length) move
+# them by a few percent across legitimate changes.
+DEFAULT_TOLERANCE = 0.25
 
-def load_counters(path: str, section: str) -> dict:
+# Counters whose per-packet cost the baseline tracks by default when
+# writing one. Chosen to cover the interface mechanisms the paper
+# measures: ring signaling, descriptor/doorbell traffic, buffer pool
+# churn, and coherence transactions.
+BASELINE_TRACKED = [
+    "ccnic.signal_reads",
+    "ccnic.signal_writes",
+    "ccnic.tx_packets",
+    "pool.allocs",
+    "pool.frees",
+    "mem.remote_reads",
+    "mem.remote_rfos",
+]
+
+BASELINE_ZERO = [
+    "transport.retransmits",
+    "transport.fast_retransmits",
+    "transport.timeouts",
+    "transport.aborts",
+    "net.link.fault_drops",
+    "net.link.down_drops",
+]
+
+
+def load_sections(path: str) -> dict:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    sec = doc["sections"].get(section)
+    return doc["sections"]
+
+
+def counters_of(sections: dict, section: str, path: str):
+    """Return ({name: value}, {name: kind}) for a snapshot section."""
+    sec = sections.get(section)
     if sec is None:
         raise SystemExit(
             f"FAIL: section '{section}' missing from {path}")
-    return {row["counter"]: float(row["value"])
-            for row in sec["rows"]}
+    values, kinds = {}, {}
+    for row in sec["rows"]:
+        values[row["counter"]] = float(row["value"])
+        # Older reports lack the kind column; treat those as counters.
+        kinds[row["counter"]] = row.get("kind", "counter")
+    return values, kinds
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser()
-    ap.add_argument("report")
-    ap.add_argument("--max-signal-reads-per-pkt", type=float,
-                    default=DEFAULT_MAX_SIGNAL_READS_PER_PKT)
-    args = ap.parse_args()
-
-    c = load_counters(args.report, "counters_lossfree")
-    failures = []
-
+def check_invariants(c: dict, max_reads_per_pkt: float,
+                     failures: list) -> None:
     rtx = c.get("transport.retransmits", 0.0)
     frtx = c.get("transport.fast_retransmits", 0.0)
     if rtx + frtx > 0:
@@ -69,19 +126,269 @@ def main() -> int:
     else:
         ratio = reads / delivered
         print(f"signal reads per delivered packet: {ratio:.2f} "
-              f"(bound {args.max_signal_reads_per_pkt})")
-        if ratio > args.max_signal_reads_per_pkt:
+              f"(bound {max_reads_per_pkt})")
+        if ratio > max_reads_per_pkt:
             failures.append(
                 f"signaling efficiency regressed: {ratio:.2f} "
                 f"signal reads per packet > bound "
-                f"{args.max_signal_reads_per_pkt}")
+                f"{max_reads_per_pkt}")
 
+
+def check_timeseries(sections: dict, failures: list) -> None:
+    sec = sections.get("timeseries_lossfree")
+    if sec is None:
+        # Reports predating the sampler: nothing to rate-check.
+        print("timeseries_lossfree absent; skipping rate checks")
+        return
+    bad = 0
+    for row in sec["rows"]:
+        metric = row["metric"]
+        if metric.startswith("transport.retransmits") or \
+                metric.startswith("transport.fast_retransmits"):
+            if float(row["delta"]) > 0:
+                bad += 1
+    print(f"timeseries_lossfree: {len(sec['rows'])} rows, "
+          f"{bad} retransmit-rate violations")
+    if bad:
+        failures.append(
+            f"loss-free timeseries shows {bad} sampling interval(s) "
+            "with a nonzero retransmit rate")
+
+
+def check_baseline(c: dict, kinds: dict, baseline: dict,
+                   tolerance: float, failures: list) -> None:
+    norm_name = baseline.get("normalize_by", "ccnic.rx_delivered")
+    norm = c.get(norm_name, 0.0)
+    if norm <= 0:
+        failures.append(
+            f"baseline normalizer '{norm_name}' missing or zero")
+        return
+    tol = baseline.get("tolerance", tolerance)
+
+    for name, expected in baseline.get("per_packet", {}).items():
+        if kinds.get(name) == "gauge":
+            failures.append(
+                f"baseline lists gauge '{name}' under per_packet; "
+                "gauges are high-water marks and must not be "
+                "normalized per packet")
+            continue
+        actual = c.get(name)
+        if actual is None:
+            failures.append(f"baseline counter '{name}' missing "
+                            "from report")
+            continue
+        per_pkt = actual / norm
+        bound = expected * (1.0 + tol)
+        verdict = "ok"
+        if per_pkt > bound:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: {per_pkt:.4f} per packet exceeds baseline "
+                f"{expected:.4f} (+{tol * 100:.0f}% tolerance = "
+                f"{bound:.4f})")
+        elif per_pkt < expected * (1.0 - tol):
+            verdict = "improved (consider refreshing baseline)"
+        print(f"baseline {name}: {per_pkt:.4f}/pkt vs "
+              f"{expected:.4f}/pkt -> {verdict}")
+
+    for name in baseline.get("zero", []):
+        v = c.get(name, 0.0)
+        if v != 0:
+            failures.append(
+                f"{name} expected to be zero, got {v:.0f}")
+
+
+def write_baseline(c: dict, kinds: dict, out_path: str,
+                   tolerance: float) -> None:
+    norm_name = "ccnic.rx_delivered"
+    norm = c.get(norm_name, 0.0)
+    if norm <= 0:
+        raise SystemExit(
+            f"FAIL: cannot write baseline, '{norm_name}' missing")
+    per_pkt = {}
+    for name in BASELINE_TRACKED:
+        if name in c and kinds.get(name) != "gauge":
+            per_pkt[name] = round(c[name] / norm, 6)
+    doc = {
+        "section": "counters_lossfree",
+        "normalize_by": norm_name,
+        "tolerance": tolerance,
+        "per_packet": per_pkt,
+        "zero": [z for z in BASELINE_ZERO],
+    }
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"baseline written to {out_path}")
+
+
+def run_gate(report: str, baseline_path: str,
+             max_reads_per_pkt: float, tolerance: float) -> int:
+    sections = load_sections(report)
+    c, kinds = counters_of(sections, "counters_lossfree", report)
+    failures = []
+    check_invariants(c, max_reads_per_pkt, failures)
+    check_timeseries(sections, failures)
+    if baseline_path:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+        check_baseline(c, kinds, baseline, tolerance, failures)
     if failures:
         for msg in failures:
             print(f"FAIL: {msg}", file=sys.stderr)
         return 1
     print("counters gate passed")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: a clean synthetic report must pass and an injected
+# signal-read regression must fail. Registered as a ctest so the gate
+# itself cannot silently rot.
+
+def _synthetic_report(signal_reads: float) -> dict:
+    rows = [
+        {"counter": "ccnic.rx_delivered", "kind": "counter",
+         "value": 100000},
+        {"counter": "ccnic.signal_reads", "kind": "counter",
+         "value": signal_reads},
+        {"counter": "ccnic.signal_writes", "kind": "counter",
+         "value": 250000},
+        {"counter": "ccnic.peak_queue_depth", "kind": "gauge",
+         "value": 37},
+        {"counter": "transport.retransmits", "kind": "counter",
+         "value": 0},
+        {"counter": "transport.fast_retransmits", "kind": "counter",
+         "value": 0},
+    ]
+    ts_rows = [
+        {"run": 1, "t_us": 25.0, "metric": "ccnic.signal_reads",
+         "kind": "counter", "value": 1000, "delta": 1000},
+        {"run": 1, "t_us": 50.0, "metric": "transport.retransmits",
+         "kind": "counter", "value": 0, "delta": 0},
+    ]
+    return {
+        "bench": "selftest",
+        "sections": {
+            "counters_lossfree": {
+                "columns": ["counter", "kind", "value"],
+                "rows": rows,
+            },
+            "timeseries_lossfree": {
+                "columns": ["run", "t_us", "metric", "kind", "value",
+                            "delta"],
+                "rows": ts_rows,
+            },
+        },
+    }
+
+
+def selftest() -> int:
+    baseline = {
+        "section": "counters_lossfree",
+        "normalize_by": "ccnic.rx_delivered",
+        "tolerance": 0.25,
+        "per_packet": {
+            "ccnic.signal_reads": 6.7,
+            "ccnic.signal_writes": 2.5,
+        },
+        "zero": ["transport.retransmits",
+                 "transport.fast_retransmits"],
+    }
+    with tempfile.TemporaryDirectory() as td:
+        bl = os.path.join(td, "baseline.json")
+        with open(bl, "w", encoding="utf-8") as f:
+            json.dump(baseline, f)
+
+        clean = os.path.join(td, "clean.json")
+        with open(clean, "w", encoding="utf-8") as f:
+            json.dump(_synthetic_report(signal_reads=670000), f)
+        if run_gate(clean, bl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) != 0:
+            print("SELFTEST FAIL: clean report did not pass",
+                  file=sys.stderr)
+            return 1
+
+        # Inject a 20x signal-read regression: per-packet reads jump
+        # from 6.7 to 134, tripping both the absolute bound and the
+        # baseline band.
+        bad = os.path.join(td, "regressed.json")
+        with open(bad, "w", encoding="utf-8") as f:
+            json.dump(_synthetic_report(signal_reads=13400000), f)
+        if run_gate(bad, bl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: injected signal-read regression "
+                  "passed the gate", file=sys.stderr)
+            return 1
+
+        # A gauge listed under per_packet must be rejected, not
+        # silently diffed as if it were monotonic.
+        gauge_bl = dict(baseline)
+        gauge_bl["per_packet"] = {"ccnic.peak_queue_depth": 0.1}
+        gbl = os.path.join(td, "gauge_baseline.json")
+        with open(gbl, "w", encoding="utf-8") as f:
+            json.dump(gauge_bl, f)
+        if run_gate(clean, gbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: gauge under per_packet passed",
+                  file=sys.stderr)
+            return 1
+
+        # A retransmit burst visible only in the time series (end
+        # total zeroed by a registry reset) must still fail.
+        bursty = _synthetic_report(signal_reads=670000)
+        bursty["sections"]["timeseries_lossfree"]["rows"].append(
+            {"run": 1, "t_us": 75.0,
+             "metric": "transport.retransmits", "kind": "counter",
+             "value": 5, "delta": 5})
+        bpath = os.path.join(td, "bursty.json")
+        with open(bpath, "w", encoding="utf-8") as f:
+            json.dump(bursty, f)
+        if run_gate(bpath, bl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: retransmit burst in timeseries "
+                  "passed", file=sys.stderr)
+            return 1
+
+    print("counters gate selftest passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report", nargs="?")
+    ap.add_argument("--max-signal-reads-per-pkt", type=float,
+                    default=DEFAULT_MAX_SIGNAL_READS_PER_PKT)
+    ap.add_argument("--baseline",
+                    help="baseline JSON to diff per-packet counters "
+                         "against")
+    ap.add_argument("--tolerance", type=float,
+                    default=DEFAULT_TOLERANCE,
+                    help="relative band for baseline comparisons "
+                         "(overridden by the baseline's own "
+                         "'tolerance' field)")
+    ap.add_argument("--write-baseline", metavar="OUT",
+                    help="write a fresh baseline from this report "
+                         "and exit")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the gate's self-checks and exit")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.report:
+        ap.error("report path required (or use --selftest)")
+
+    if args.write_baseline:
+        sections = load_sections(args.report)
+        c, kinds = counters_of(sections, "counters_lossfree",
+                               args.report)
+        write_baseline(c, kinds, args.write_baseline, args.tolerance)
+        return 0
+
+    return run_gate(args.report, args.baseline,
+                    args.max_signal_reads_per_pkt, args.tolerance)
 
 
 if __name__ == "__main__":

@@ -7,12 +7,79 @@ tracepoint ring as a JSON array of {tick, kind, name, arg} objects
 per-event-name counts plus the covered time span, which is usually
 enough to see where a run spent its events without opening a viewer.
 
+Packet lifecycle spans: each sampled packet emits one "span.stage"
+event per stage ("span.host_enqueue" .. "span.host_reap") with the
+span id in arg. Events sharing an id are joined into a span and the
+adjacent-stage latencies are reported as a count/p50/p99 table,
+mirroring the "latency" JSON section benches emit directly.
+
 Usage: trace_summary.py <trace.json>
 """
 
 import collections
 import json
 import sys
+
+# Stage order must match obs::SpanStage (src/obs/span.hh).
+SPAN_STAGES = [
+    "span.host_enqueue",
+    "span.desc_publish",
+    "span.nic_observe",
+    "span.wire_tx",
+    "span.link_deliver",
+    "span.rx_publish",
+    "span.host_reap",
+]
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1,
+              int(round(p / 100.0 * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def span_table(events) -> None:
+    """Join span.stage events by span id into per-stage latencies."""
+    spans = collections.defaultdict(dict)
+    for e in events:
+        if e["kind"] != "span.stage":
+            continue
+        # Last stamp wins; stages are stamped once per span by
+        # construction, but a wrapped trace ring can lose early
+        # stages of old spans (those spans are simply incomplete).
+        spans[e["arg"]][e["name"]] = e["tick"]
+    if not spans:
+        return
+
+    deltas = {i: [] for i in range(len(SPAN_STAGES) - 1)}
+    e2e = []
+    incomplete = 0
+    for stamps in spans.values():
+        if any(s not in stamps for s in SPAN_STAGES):
+            incomplete += 1
+            continue
+        for i in range(len(SPAN_STAGES) - 1):
+            deltas[i].append(
+                stamps[SPAN_STAGES[i + 1]] - stamps[SPAN_STAGES[i]])
+        e2e.append(stamps[SPAN_STAGES[-1]] - stamps[SPAN_STAGES[0]])
+
+    print()
+    print(f"packet lifecycle spans: {len(spans)} sampled, "
+          f"{incomplete} incomplete (truncated by ring wrap)")
+    print(f"{'stage':<32} {'count':>8} {'p50_ns':>10} {'p99_ns':>10}")
+    for i in range(len(SPAN_STAGES) - 1):
+        vals = sorted(deltas[i])
+        label = (SPAN_STAGES[i].removeprefix("span.") + "->" +
+                 SPAN_STAGES[i + 1].removeprefix("span."))
+        print(f"{label:<32} {len(vals):>8} "
+              f"{percentile(vals, 50) / 1e3:>10.1f} "
+              f"{percentile(vals, 99) / 1e3:>10.1f}")
+    vals = sorted(e2e)
+    print(f"{'end_to_end':<32} {len(vals):>8} "
+          f"{percentile(vals, 50) / 1e3:>10.1f} "
+          f"{percentile(vals, 99) / 1e3:>10.1f}")
 
 
 def main() -> int:
@@ -43,6 +110,8 @@ def main() -> int:
     print(f"{'category':<24} {'event':<32} {'count':>10}")
     for (kind, name), n in by_name.most_common():
         print(f"{kind:<24} {name:<32} {n:>10}")
+
+    span_table(events)
     return 0
 
 
