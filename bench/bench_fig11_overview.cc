@@ -1,8 +1,11 @@
 /**
  * @file
- * Figure 11 reproduction: throughput-latency curves on ICX for the
- * four interfaces (CC-NIC, unoptimized UPI, PCIe E810, PCIe CX6) at
- * 64B and 1.5KB packet sizes, with the §5.2 headline comparisons.
+ * Figure 11 reproduction, extended to the third interface family:
+ * throughput-latency curves on ICX for CC-NIC, unoptimized UPI, PCIe
+ * E810, PCIe CX6 and the PIO message-register interfaces at 64B and
+ * 1.5KB packet sizes, with the §5.2 headline comparisons and a
+ * three-way (ring-over-coherence / ring-over-PCIe / PIO-over-
+ * coherence) minimum-latency summary.
  */
 
 #include "bench/common.hh"
@@ -14,7 +17,7 @@ using namespace ccn::bench;
 namespace {
 
 void
-curveFor(const char *name,
+curveFor(const std::string &key,
          const std::function<std::unique_ptr<World>()> &factory,
          std::uint32_t pkt, double max_pps, stats::Table &t)
 {
@@ -23,7 +26,7 @@ curveFor(const char *name,
     cfg.pktSize = pkt;
     for (const CurvePoint &p : traceCurve(factory, cfg, max_pps, 6)) {
         t.row()
-            .cell(name)
+            .cell(familyLabel(key))
             .cell(static_cast<std::uint64_t>(pkt))
             .cell(p.offeredMpps, 1)
             .cell(p.achievedMpps, 1)
@@ -39,29 +42,30 @@ main()
 {
     stats::JsonReport json("fig11_overview");
     auto icx = mem::icxConfig();
-    auto mkCc = [&] {
-        return makeCcNicWorld(icx, ccnic::optimizedConfig(16, 0, icx));
-    };
-    auto mkUn = [&] {
-        return makeCcNicWorld(icx,
-                              ccnic::unoptimizedConfig(16, 0, icx));
-    };
-    auto mkE810 = [&] {
-        return makePcieWorld(icx, nic::e810Params(), 16);
-    };
-    auto mkCx6 = [&] { return makePcieWorld(icx, nic::cx6Params(), 16); };
+    // All interface worlds come from the shared family factory so this
+    // bench, bench_pio_smallmsg and examples/interface_compare stay in
+    // lockstep on construction.
+    auto mkCc = worldFactory("ccnic", icx, 16);
+    auto mkUn = worldFactory("upi_unopt", icx, 16);
+    auto mkE810 = worldFactory("pcie_e810", icx, 16);
+    auto mkCx6 = worldFactory("pcie_cx6", icx, 16);
+    auto mkPio = worldFactory("pio", icx, 16);
+    auto mkPioCxl = worldFactory("pio_cxl", icx, 16);
 
     stats::banner("Figure 11: throughput-latency, ICX, 16 threads");
     stats::Table t({"series", "pkt", "offered_Mpps", "achieved_Mpps",
                     "median_ns", "Gbps"});
-    curveFor("CC-NIC", mkCc, 64, 300e6, t);
-    curveFor("UPI-unopt", mkUn, 64, 90e6, t);
-    curveFor("PCIe-E810", mkE810, 64, 200e6, t);
-    curveFor("PCIe-CX6", mkCx6, 64, 90e6, t);
-    curveFor("CC-NIC", mkCc, 1500, 36e6, t);
-    curveFor("UPI-unopt", mkUn, 1500, 14e6, t);
-    curveFor("PCIe-E810", mkE810, 1500, 20e6, t);
-    curveFor("PCIe-CX6", mkCx6, 1500, 20e6, t);
+    curveFor("ccnic", mkCc, 64, 300e6, t);
+    curveFor("upi_unopt", mkUn, 64, 90e6, t);
+    curveFor("pcie_e810", mkE810, 64, 200e6, t);
+    curveFor("pcie_cx6", mkCx6, 64, 90e6, t);
+    curveFor("pio", mkPio, 64, 150e6, t);
+    curveFor("pio_cxl", mkPioCxl, 64, 120e6, t);
+    curveFor("ccnic", mkCc, 1500, 36e6, t);
+    curveFor("upi_unopt", mkUn, 1500, 14e6, t);
+    curveFor("pcie_e810", mkE810, 1500, 20e6, t);
+    curveFor("pcie_cx6", mkCx6, 1500, 20e6, t);
+    curveFor("pio", mkPio, 1500, 20e6, t);
     t.print();
     json.add("throughput_latency", t);
 
@@ -72,16 +76,23 @@ main()
     const double un_min = minLatencyNs(mkUn);
     const double e_min = minLatencyNs(mkE810);
     const double c_min = minLatencyNs(mkCx6);
+    const double pio_min = minLatencyNs(mkPio);
+    const double pioc_min = minLatencyNs(mkPioCxl);
     const double cc_pps = findPeak(mkCc, peak_cfg, 280e6).achievedMpps;
     const double un_pps = findPeak(mkUn, peak_cfg, 75e6).achievedMpps;
     const double e_pps = findPeak(mkE810, peak_cfg, 170e6).achievedMpps;
     const double c_pps = findPeak(mkCx6, peak_cfg, 75e6).achievedMpps;
+    const double pio_pps =
+        findPeak(mkPio, peak_cfg, 130e6).achievedMpps;
     stats::Table s({"metric", "measured", "paper"});
     s.row().cell("CC-NIC min lat [ns]").cell(cc_min, 0).cell("490");
     s.row().cell("unopt min lat [ns]").cell(un_min, 0)
         .cell("2.1x CC-NIC (~1030)");
     s.row().cell("E810 min lat [ns]").cell(e_min, 0).cell("3809");
     s.row().cell("CX6 min lat [ns]").cell(c_min, 0).cell("2116");
+    s.row().cell("PIO-UPI min lat [ns]").cell(pio_min, 0)
+        .cell("beats rings at 64B");
+    s.row().cell("PIO-CXL min lat [ns]").cell(pioc_min, 0).cell("-");
     s.row().cell("CC-NIC vs CX6 min lat reduction [%]")
         .cell(100.0 * (1.0 - cc_min / c_min), 0).cell("77");
     s.row().cell("CC-NIC vs E810 min lat reduction [%]")
@@ -91,6 +102,7 @@ main()
         .cell("79% below CC-NIC (~70)");
     s.row().cell("E810 peak [Mpps]").cell(e_pps, 0).cell("192");
     s.row().cell("CX6 peak [Mpps]").cell(c_pps, 0).cell("76");
+    s.row().cell("PIO-UPI peak [Mpps]").cell(pio_pps, 0).cell("-");
     s.row().cell("CC-NIC/E810 peak ratio").cell(cc_pps / e_pps, 2)
         .cell("1.7");
     s.row().cell("CC-NIC/CX6 peak ratio").cell(cc_pps / c_pps, 2)
@@ -98,9 +110,21 @@ main()
     s.print();
     json.add("headline_comparisons", s);
 
+    // Three-way family summary: one representative per architecture.
+    stats::banner("Interface families (64B min latency / peak)");
+    stats::Table fam({"family", "representative", "min_ns", "peak_Mpps"});
+    fam.row().cell("ring-over-coherence").cell("CC-NIC")
+        .cell(cc_min, 0).cell(cc_pps, 0);
+    fam.row().cell("ring-over-PCIe").cell("PCIe-E810")
+        .cell(e_min, 0).cell(e_pps, 0);
+    fam.row().cell("PIO-over-coherence").cell("PIO-UPI")
+        .cell(pio_min, 0).cell(pio_pps, 0);
+    fam.print();
+    json.add("interface_families", fam);
+
     // Per-stage lifecycle latency breakdown (Fig 7/11 decomposition):
-    // the CC-NIC and PCIe paths stamp the same seven stages, so their
-    // per-stage percentiles are directly comparable here.
+    // the CC-NIC, PCIe and PIO paths stamp the same seven stages, so
+    // their per-stage percentiles are directly comparable here.
     stats::banner("Packet lifecycle stage latency (sampled spans)");
     obs::SpanTable::global().table().print();
     ccn::bench::addObsSections(json);

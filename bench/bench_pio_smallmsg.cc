@@ -1,0 +1,107 @@
+/**
+ * @file
+ * PIO small-message sweep: closed-loop round-trip latency and
+ * single-core peak rate as a function of message size for the PIO
+ * interface family against both ring families (ring-over-coherence
+ * CC-NIC / UPI-unopt, ring-over-PCIe E810 / CX6).
+ *
+ * The point of the sweep is the crossover: PIO pushes header+payload
+ * inline through shared slot lines, collapsing descriptor publish /
+ * doorbell / descriptor fetch / payload fetch into one transfer, so
+ * it wins while the message fits the inline budget — and pays an
+ * extra copy plus the spill indirection beyond it.
+ */
+
+#include "bench/common.hh"
+#include "stats/json.hh"
+
+using namespace ccn;
+using namespace ccn::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = BenchOptions::parse(argc, argv);
+    stats::JsonReport json("pio_smallmsg");
+    const auto icx = mem::icxConfig();
+
+    const std::vector<std::string> keys = {"pio", "pio_cxl", "ccnic",
+                                           "upi_unopt", "pcie_e810",
+                                           "pcie_cx6"};
+    const std::vector<std::uint32_t> sizes = {16,  32,  64,   96,  128,
+                                              256, 512, 1024, 1500};
+
+    stats::banner(
+        "PIO small-message sweep: closed-loop min latency [ns], ICX");
+    std::vector<std::string> cols = {"pkt_bytes"};
+    for (const auto &k : keys)
+        cols.push_back(familyLabel(k));
+    stats::Table t(cols);
+
+    // lat[key][size index].
+    std::vector<std::vector<double>> lat(keys.size());
+    for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+        const auto factory = worldFactory(keys[ki], icx, 1);
+        for (std::uint32_t s : sizes)
+            lat[ki].push_back(minLatencyNs(factory, s));
+    }
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        auto &row = t.row();
+        row.cell(static_cast<std::uint64_t>(sizes[si]));
+        for (std::size_t ki = 0; ki < keys.size(); ++ki)
+            row.cell(lat[ki][si], 0);
+    }
+    t.print();
+    json.add("latency_by_size", t);
+
+    // Locate the crossover: the first size where the best ring
+    // interface beats PIO-UPI. Below it, PIO wins outright.
+    const std::size_t pio_i = 0, cc_i = 2, e810_i = 4, cx6_i = 5;
+    double crossover = -1.0;
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        const double best_ring =
+            std::min({lat[cc_i][si], lat[3][si], lat[e810_i][si],
+                      lat[cx6_i][si]});
+        if (best_ring < lat[pio_i][si]) {
+            crossover = static_cast<double>(sizes[si]);
+            break;
+        }
+    }
+
+    // 64B is the paper's small-message workhorse: the acceptance
+    // check is that PIO beats *both* ring families there.
+    std::size_t si64 = 0;
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+        if (sizes[si] == 64)
+            si64 = si;
+    }
+    const double pio64 = lat[pio_i][si64];
+    const double cc64 = lat[cc_i][si64];
+    const double e81064 = lat[e810_i][si64];
+    const double cx664 = lat[cx6_i][si64];
+
+    stats::banner("Summary (64B closed-loop min latency)");
+    stats::Table s({"metric", "value"});
+    s.row().cell("PIO-UPI 64B [ns]").cell(pio64, 0);
+    s.row().cell("CC-NIC 64B [ns]").cell(cc64, 0);
+    s.row().cell("PCIe-E810 64B [ns]").cell(e81064, 0);
+    s.row().cell("PCIe-CX6 64B [ns]").cell(cx664, 0);
+    s.row()
+        .cell("PIO beats ring-over-coherence")
+        .cell(pio64 < cc64 ? "yes" : "no");
+    s.row()
+        .cell("PIO beats ring-over-PCIe")
+        .cell(pio64 < std::min(e81064, cx664) ? "yes" : "no");
+    s.row()
+        .cell("crossover size [B]")
+        .cell(crossover < 0 ? std::string("none<=1500")
+                            : std::to_string(static_cast<int>(
+                                  crossover)));
+    s.print();
+    json.add("summary", s);
+
+    ccn::bench::addObsSections(json);
+    json.write();
+    opts.finish();
+    return 0;
+}

@@ -14,12 +14,14 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ccnic/ccnic.hh"
 #include "mem/platform.hh"
 #include "nic/pcie_nic.hh"
+#include "pio/pio.hh"
 #include "obs/obs.hh"
 #include "obs/sampler.hh"
 #include "obs/span.hh"
@@ -85,6 +87,7 @@ struct World
     std::unique_ptr<driver::NicInterface> nic;
     ccnic::CcNic *ccnic = nullptr;   // Set when the NIC is a CcNic.
     nic::PcieNic *pcie = nullptr;    // Set when the NIC is a PcieNic.
+    pio::PioNic *pio = nullptr;      // Set when the NIC is a PioNic.
 };
 
 /**
@@ -132,6 +135,110 @@ makePcieWorld(const mem::PlatformConfig &plat,
     n->start();
     w->nic = std::move(n);
     return w;
+}
+
+/** Build a world with a PIO message-register NIC attached. */
+inline std::unique_ptr<World>
+makePioWorld(const mem::PlatformConfig &plat, const pio::Config &cfg,
+             int host_socket = 0, int nic_socket = 1)
+{
+    auto w = std::make_unique<World>(plat);
+    auto n = std::make_unique<pio::PioNic>(w->simv, w->system, cfg,
+                                           host_socket, nic_socket,
+                                           w->rng);
+    w->pio = n.get();
+    n->start();
+    w->nic = std::move(n);
+    return w;
+}
+
+/**
+ * One entry in the interface-family registry. `kind` names the
+ * family's architecture (ring-over-coherence, ring-over-PCIe,
+ * PIO-over-coherence) for docs and report labels.
+ */
+struct InterfaceFamily
+{
+    const char *key;   ///< Factory key (stable, used in baselines/CI).
+    const char *label; ///< Human-readable series label.
+    const char *kind;  ///< Architecture family.
+};
+
+/**
+ * The interface families every comparison bench/example enumerates.
+ * Adding an entry here (plus a worldFactory() case) wires a new
+ * interface into bench_fig11_overview, bench_pio_smallmsg and
+ * examples/interface_compare at once.
+ */
+inline const std::vector<InterfaceFamily> &
+interfaceFamilies()
+{
+    static const std::vector<InterfaceFamily> families = {
+        {"ccnic", "CC-NIC", "ring-over-coherence"},
+        {"upi_unopt", "UPI-unopt", "ring-over-coherence"},
+        {"pcie_e810", "PCIe-E810", "ring-over-PCIe"},
+        {"pcie_cx6", "PCIe-CX6", "ring-over-PCIe"},
+        {"pio", "PIO-UPI", "PIO-over-coherence"},
+        {"pio_cxl", "PIO-CXL", "PIO-over-coherence"},
+    };
+    return families;
+}
+
+/** Display label for an interface-family key. */
+inline const char *
+familyLabel(const std::string &key)
+{
+    for (const InterfaceFamily &f : interfaceFamilies()) {
+        if (key == f.key)
+            return f.label;
+    }
+    return key.c_str();
+}
+
+/**
+ * World factory for an interface-family key: every measurement point
+ * gets a fresh deterministic world with that interface attached.
+ * Throws on an unknown key so baseline/CI typos fail loudly.
+ */
+inline std::function<std::unique_ptr<World>()>
+worldFactory(const std::string &key, const mem::PlatformConfig &plat,
+             int queues)
+{
+    if (key == "ccnic") {
+        return [plat, queues] {
+            return makeCcNicWorld(
+                plat, ccnic::optimizedConfig(queues, 0, plat));
+        };
+    }
+    if (key == "upi_unopt") {
+        return [plat, queues] {
+            return makeCcNicWorld(
+                plat, ccnic::unoptimizedConfig(queues, 0, plat));
+        };
+    }
+    if (key == "pcie_e810") {
+        return [plat, queues] {
+            return makePcieWorld(plat, nic::e810Params(), queues);
+        };
+    }
+    if (key == "pcie_cx6") {
+        return [plat, queues] {
+            return makePcieWorld(plat, nic::cx6Params(), queues);
+        };
+    }
+    if (key == "pio") {
+        return [plat, queues] {
+            return makePioWorld(plat,
+                                pio::upiConfig(queues, 0, plat));
+        };
+    }
+    if (key == "pio_cxl") {
+        return [plat, queues] {
+            return makePioWorld(plat,
+                                pio::cxlConfig(queues, 0, plat));
+        };
+    }
+    throw std::invalid_argument("unknown interface family: " + key);
 }
 
 /** Run one loopback point in a fresh world built by @p factory. */

@@ -1,55 +1,57 @@
 /**
  * @file
- * Example: compare the four host-NIC interfaces the paper evaluates
- * (CC-NIC, unoptimized UPI, PCIe E810, PCIe CX6) on one latency probe
- * and one saturated-throughput point — a miniature of Figure 11.
+ * Example: compare every host-NIC interface family the simulator
+ * models — ring-over-coherence (CC-NIC, unoptimized UPI),
+ * ring-over-PCIe (E810, CX6) and PIO-over-coherence (UPI and
+ * CXL.cache presets) — on one latency probe and one
+ * saturated-throughput point: a miniature of Figure 11 plus the PIO
+ * small-message result.
+ *
+ * The families are enumerated from the shared registry in
+ * bench/common.hh, so this example picks up new interfaces the moment
+ * they are added there.
  */
 
+#include <algorithm>
 #include <cstdio>
-#include <memory>
 
-#include "ccnic/ccnic.hh"
-#include "mem/platform.hh"
-#include "nic/pcie_nic.hh"
-#include "workload/loopback.hh"
+#include "bench/common.hh"
 
 using namespace ccn;
+using namespace ccn::bench;
 
 namespace {
 
 void
-probe(const char *name,
-      std::function<std::unique_ptr<driver::NicInterface>(
-          sim::Simulator &, mem::CoherentSystem &, sim::Rng &)>
-          make)
+probe(const InterfaceFamily &fam,
+      const std::function<std::unique_ptr<World>()> &make)
 {
     // Minimum latency: closed loop, one packet in flight.
     double min_ns;
     {
-        sim::Simulator simv;
-        mem::CoherentSystem m(simv, mem::icxConfig());
-        sim::Rng rng(3);
-        auto nic = make(simv, m, rng);
+        auto w = make();
         workload::LoopbackConfig cfg;
         cfg.closedWindow = 1;
         cfg.window = sim::fromUs(250.0);
-        min_ns = workload::runLoopback(simv, m, *nic, cfg).minNs;
+        min_ns =
+            workload::runLoopback(w->simv, w->system, *w->nic, cfg)
+                .minNs;
     }
     // Single-core saturated rate: sweep offered load and report the
     // best sustained point (open-loop overload collapses served rates).
     double mpps = 0;
     for (double offered : {5e6, 10e6, 20e6, 40e6}) {
-        sim::Simulator simv;
-        mem::CoherentSystem m(simv, mem::icxConfig());
-        sim::Rng rng(3);
-        auto nic = make(simv, m, rng);
+        auto w = make();
         workload::LoopbackConfig cfg;
         cfg.offeredPps = offered;
-        mpps = std::max(mpps, workload::runLoopback(simv, m, *nic, cfg)
-                                  .achievedMpps);
+        mpps = std::max(
+            mpps, workload::runLoopback(w->simv, w->system, *w->nic,
+                                        cfg)
+                      .achievedMpps);
     }
-    std::printf("%-12s min latency %6.0f ns   1-core peak %5.1f Mpps\n",
-                name, min_ns, mpps);
+    std::printf(
+        "%-10s %-20s min latency %6.0f ns   1-core peak %5.1f Mpps\n",
+        fam.label, fam.kind, min_ns, mpps);
 }
 
 } // namespace
@@ -58,33 +60,8 @@ int
 main()
 {
     std::printf("64B loopback on the ICX model (1 queue):\n");
-    probe("CC-NIC", [](sim::Simulator &s, mem::CoherentSystem &m,
-                       sim::Rng &r) {
-        auto n = std::make_unique<ccnic::CcNic>(
-            s, m, ccnic::optimizedConfig(1, 0, m.config()), 0, 1, r);
-        n->start();
-        return std::unique_ptr<driver::NicInterface>(std::move(n));
-    });
-    probe("UPI-unopt", [](sim::Simulator &s, mem::CoherentSystem &m,
-                          sim::Rng &r) {
-        auto n = std::make_unique<ccnic::CcNic>(
-            s, m, ccnic::unoptimizedConfig(1, 0, m.config()), 0, 1, r);
-        n->start();
-        return std::unique_ptr<driver::NicInterface>(std::move(n));
-    });
-    probe("PCIe-E810", [](sim::Simulator &s, mem::CoherentSystem &m,
-                          sim::Rng &r) {
-        auto n = std::make_unique<nic::PcieNic>(s, m, nic::e810Params(),
-                                                1, 0, r);
-        n->start();
-        return std::unique_ptr<driver::NicInterface>(std::move(n));
-    });
-    probe("PCIe-CX6", [](sim::Simulator &s, mem::CoherentSystem &m,
-                         sim::Rng &r) {
-        auto n = std::make_unique<nic::PcieNic>(s, m, nic::cx6Params(),
-                                                1, 0, r);
-        n->start();
-        return std::unique_ptr<driver::NicInterface>(std::move(n));
-    });
+    const auto icx = mem::icxConfig();
+    for (const InterfaceFamily &fam : interfaceFamilies())
+        probe(fam, worldFactory(fam.key, icx, 1));
     return 0;
 }

@@ -2,12 +2,15 @@
  * @file
  * Example: use the memory-system model directly to reproduce the
  * paper's Figure 7 pointer-probe — the latencies that motivate every
- * CC-NIC design decision (writer-homing, cache-to-cache transfers).
+ * CC-NIC design decision (writer-homing, cache-to-cache transfers) —
+ * then show where each interface family (including the PIO
+ * message-register interface) lands on top of those raw access costs.
  */
 
 #include <cstdio>
 #include <functional>
 
+#include "bench/common.hh"
 #include "mem/coherence.hh"
 #include "mem/platform.hh"
 
@@ -53,6 +56,17 @@ main()
         mem::CoherentSystem system(simv, cfg);
         simv.spawn(probe(simv, system));
         simv.run();
+    }
+
+    // What the raw access costs buy each interface family: 64B
+    // closed-loop round-trip minimum per interface, ICX.
+    std::printf("\n64B loopback min latency by interface (ICX):\n");
+    const auto icx = mem::icxConfig();
+    for (const bench::InterfaceFamily &fam : bench::interfaceFamilies()) {
+        const double ns =
+            bench::minLatencyNs(bench::worldFactory(fam.key, icx, 1));
+        std::printf("  %-10s %-20s %6.0f ns\n", fam.label, fam.kind,
+                    ns);
     }
     return 0;
 }

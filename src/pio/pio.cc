@@ -1,0 +1,841 @@
+#include "pio/pio.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ccn::pio {
+
+using driver::BufClass;
+using driver::PacketBuf;
+using mem::Addr;
+using sim::Tick;
+
+namespace {
+
+/** Size the pool to the queue count: slot occupancy on both
+ *  directions plus recycle stacks plus generator headroom. */
+void
+sizePool(Config &cfg)
+{
+    const std::uint32_t q = static_cast<std::uint32_t>(cfg.numQueues);
+    const std::uint32_t per_q =
+        cfg.numSlots * 2 + 2 * cfg.pool.recycleDepth + 256;
+    cfg.pool.largeCount = std::max<std::uint32_t>(2048, q * per_q);
+    cfg.pool.smallCount = std::max<std::uint32_t>(8192, q * per_q);
+    cfg.pool.stripes = cfg.numQueues;
+}
+
+} // namespace
+
+Config
+upiConfig(int num_queues, int host_socket)
+{
+    Config cfg;
+    cfg.numQueues = num_queues;
+    cfg.deviceHomedRx = true;
+    cfg.devExtraLat = 0;
+    cfg.spanPath = "pio";
+    cfg.pool.sharedAccess = true;
+    cfg.pool.recycleCache = true;
+    cfg.pool.smallBuffers = true;
+    cfg.pool.nonSequentialFill = true;
+    cfg.pool.homeSocket = host_socket;
+    sizePool(cfg);
+    return cfg;
+}
+
+Config
+upiConfig(int num_queues, int host_socket,
+          const mem::PlatformConfig &plat)
+{
+    Config cfg = upiConfig(num_queues, host_socket);
+    cfg.hostCosts = ccnic::platformCosts(plat);
+    cfg.nicCosts = ccnic::platformCosts(plat);
+    return cfg;
+}
+
+Config
+cxlConfig(int num_queues, int host_socket)
+{
+    Config cfg = upiConfig(num_queues, host_socket);
+    // A CXL.cache (Type 1) device caches host memory but exports
+    // none, so both slot arrays are host-homed; every device-side
+    // access additionally crosses the CXL port, which today costs
+    // tens of nanoseconds over a symmetric CPU interconnect hop.
+    cfg.deviceHomedRx = false;
+    cfg.devExtraLat = sim::fromNs(40.0);
+    cfg.spanPath = "pio_cxl";
+    return cfg;
+}
+
+Config
+cxlConfig(int num_queues, int host_socket,
+          const mem::PlatformConfig &plat)
+{
+    Config cfg = cxlConfig(num_queues, host_socket);
+    cfg.hostCosts = ccnic::platformCosts(plat);
+    cfg.nicCosts = ccnic::platformCosts(plat);
+    return cfg;
+}
+
+PioNic::Queue::Queue(sim::Simulator &sim, mem::CoherentSystem &m,
+                     const Config &cfg, int host_socket, int nic_socket)
+    : hostAgent(m.addAgent(host_socket)),
+      nicAgent(m.addAgent(nic_socket)),
+      txSlots(cfg.numSlots),
+      rxSlots(cfg.numSlots),
+      rxInput(sim),
+      coreLock(sim, 1),
+      wireDrained(sim)
+{
+    const std::uint64_t bytes = static_cast<std::uint64_t>(cfg.numSlots) *
+                                cfg.slotLines * mem::kLineBytes;
+    // TX slots are host-homed (writer-homed); RX homing is the UPI/CXL
+    // distinction.
+    txBase = m.alloc(host_socket, bytes, mem::kLineBytes);
+    rxBase = m.alloc(cfg.deviceHomedRx ? nic_socket : host_socket, bytes,
+                     mem::kLineBytes);
+}
+
+PioNic::PioNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
+               const Config &config, int host_socket, int nic_socket,
+               sim::Rng &rng)
+    : sim_(sim), mem_(mem_system), cfg_(config),
+      hostSocket_(host_socket), nicSocket_(nic_socket), runGate_(sim)
+{
+    cfg_.pool.homeSocket = host_socket;
+    // Slot index arithmetic masks with numSlots-1.
+    cfg_.numSlots = driver::DescRing::roundUpPow2(cfg_.numSlots);
+    cfg_.slotLines = std::max<std::uint32_t>(1, cfg_.slotLines);
+    cfg_.headerBytes = std::min<std::uint32_t>(
+        cfg_.headerBytes, cfg_.slotLines * mem::kLineBytes / 2);
+    cfg_.nicBatch = std::max(
+        1, std::min<int>(cfg_.nicBatch,
+                         static_cast<int>(cfg_.numSlots)));
+    slotMask_ = cfg_.numSlots - 1;
+    pool_ = std::make_unique<driver::Mempool>(mem_, cfg_.pool, rng);
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        queues_.push_back(std::make_unique<Queue>(
+            sim_, mem_, cfg_, hostSocket_, nicSocket_));
+        queues_.back()->polls =
+            &slotPollsQ_.at(static_cast<std::uint64_t>(q));
+    }
+    hostBeat_ =
+        std::make_unique<driver::RegisterLine>(mem_, hostSocket_);
+    nicBeat_ = std::make_unique<driver::RegisterLine>(mem_, nicSocket_);
+}
+
+void
+PioNic::start()
+{
+    assert(!started_);
+    started_ = true;
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        sim_.spawn(devTxTask(q));
+        sim_.spawn(devRxTask(q));
+    }
+    sim_.spawn(heartbeatTask());
+}
+
+mem::AgentId
+PioNic::hostAgent(int q) const
+{
+    return queues_[q]->hostAgent;
+}
+
+mem::AgentId
+PioNic::nicAgent(int q) const
+{
+    return queues_[q]->nicAgent;
+}
+
+void
+PioNic::deliverTx(int q, const WirePacket &pkt)
+{
+    txCount_++;
+    WirePacket out = pkt;
+    out.span.stamp(obs::SpanStage::WireTx, sim_.now());
+    out.fcs = ccnic::wireFcs(out);
+    if (!cfg_.loopback && txSink_) {
+        txSink_(q, out);
+        return;
+    }
+    if (cfg_.wireLat == 0) {
+        out.span.stamp(obs::SpanStage::LinkDeliver, sim_.now());
+        queues_[q]->rxInput.put(out);
+    } else {
+        Queue *queue = queues_[q].get();
+        sim_.scheduleCallback(sim_.now() + cfg_.wireLat,
+                              [queue, out, simp = &sim_]() mutable {
+                                  out.span.stamp(
+                                      obs::SpanStage::LinkDeliver,
+                                      simp->now());
+                                  queue->rxInput.put(out);
+                              });
+    }
+}
+
+void
+PioNic::injectRx(int q, const WirePacket &pkt)
+{
+    if (!ccnic::fcsOk(pkt)) {
+        rxCrcDrops_++;
+        return;
+    }
+    WirePacket in = pkt;
+    in.span.stamp(obs::SpanStage::LinkDeliver, sim_.now());
+    queues_[q]->rxInput.put(in);
+}
+
+sim::Task
+PioNic::heartbeatTask()
+{
+    for (;;) {
+        co_await sim_.delay(cfg_.beatPeriod);
+        // A wedged or down device goes silent: that silence is the
+        // Watchdog's failure signal.
+        if (wedged_ || devState_ != DevState::Running)
+            continue;
+        const mem::AgentId agent = queues_[0]->nicAgent;
+        co_await mem_.store(agent, nicBeat_->addr(), 8);
+        nicBeat_->publish(nicBeat_->value() + 1);
+        heartbeats_++;
+        co_await mem_.load(agent, hostBeat_->addr(), 8);
+    }
+}
+
+sim::Coro<void>
+PioNic::beatHost()
+{
+    const mem::AgentId agent = queues_[0]->hostAgent;
+    co_await mem_.store(agent, hostBeat_->addr(), 8);
+    hostBeat_->publish(hostBeat_->value() + 1);
+    co_return;
+}
+
+sim::Coro<std::uint64_t>
+PioNic::readDeviceBeat()
+{
+    co_await mem_.load(queues_[0]->hostAgent, nicBeat_->addr(), 8);
+    co_return nicBeat_->value();
+}
+
+driver::QueueHealth
+PioNic::health(int q) const
+{
+    const Queue &queue = *queues_[q];
+    driver::QueueHealth h;
+    h.txSubmitted = queue.txSubmittedTotal;
+    h.txCompleted = queue.txCompletedTotal;
+    h.rxDelivered = queue.rxDeliveredTotal;
+    h.txOutstanding = queue.txProd - queue.txCons;
+    return h;
+}
+
+sim::Coro<void>
+PioNic::quiesce()
+{
+    if (devState_ == DevState::Down)
+        co_return;
+    devState_ = DevState::Quiescing;
+    runGate_.notifyAll();
+    for (auto &qp : queues_)
+        qp->wireDrained.notifyAll();
+    while (hostOps_ > 0)
+        co_await sim_.delay(sim::fromNs(100));
+    // Sweep each queue's core lock: once it can be taken, no device
+    // engine is mid-batch on that queue.
+    for (auto &qp : queues_) {
+        co_await qp->coreLock.acquire();
+        qp->coreLock.release();
+    }
+    devState_ = DevState::Down;
+    co_return;
+}
+
+sim::Coro<void>
+PioNic::reset()
+{
+    assert(devState_ == DevState::Down);
+    co_await sim_.delay(cfg_.resetLat);
+
+    std::uint64_t reclaimed = 0;
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        Queue &queue = *queues_[q];
+        // Reclaim every slot-held spill buffer. Inline messages hold
+        // no buffer; a Taken RX slot's spill already changed hands at
+        // reap, so only slots still pointing at one are device-owned.
+        std::vector<PacketBuf *> frees;
+        auto sweep = [&frees](std::vector<MsgSlot> &slots) {
+            for (MsgSlot &s : slots) {
+                if (s.spill) {
+                    s.spill->nextSeg = nullptr;
+                    frees.push_back(s.spill);
+                }
+                s.spill = nullptr;
+                s.msg = WirePacket{};
+                s.state = SlotState::Free;
+            }
+        };
+        sweep(queue.txSlots);
+        sweep(queue.rxSlots);
+        // Drop wire-side packets queued into the dead device.
+        while (!queue.rxInput.empty())
+            (void)co_await queue.rxInput.get();
+
+        if (!frees.empty()) {
+            co_await pool_->freeBurst(queue.nicAgent, frees.data(),
+                                      static_cast<int>(frees.size()),
+                                      q);
+            reclaimed += frees.size();
+        }
+
+        queue.txProd = queue.txCons = 0;
+        queue.rxProd = queue.rxCons = 0;
+    }
+    pool_->auditLeaks();
+    resetReclaimed_ += reclaimed;
+    resets_++;
+    obs::tracepoint(obs::EventKind::Custom, "pio.reset", sim_.now(),
+                    reclaimed);
+    co_return;
+}
+
+sim::Coro<void>
+PioNic::reinit()
+{
+    assert(devState_ == DevState::Down);
+    co_await sim_.delay(cycles(cfg_.nicCosts.perLoop * 8));
+    wedged_ = false;
+    devState_ = DevState::Running;
+    runGate_.notifyAll();
+    for (auto &qp : queues_)
+        qp->wireDrained.notifyAll();
+    co_return;
+}
+
+sim::Coro<int>
+PioNic::allocBufs(int q, std::uint32_t size, PacketBuf **bufs, int count)
+{
+    Queue &queue = *queues_[q];
+    co_await sim_.delay(
+        cycles(cfg_.hostCosts.perAllocFree * std::max(1, count / 8)));
+    int got = co_await pool_->allocBurst(queue.hostAgent, size, bufs,
+                                         count, q);
+    for (int i = 0; i < got; ++i) {
+        bufs[i]->tp = {};
+        bufs[i]->span.clear();
+    }
+    co_return got;
+}
+
+sim::Coro<void>
+PioNic::freeBufs(int q, PacketBuf **bufs, int count)
+{
+    Queue &queue = *queues_[q];
+    co_await sim_.delay(
+        cycles(cfg_.hostCosts.perAllocFree * std::max(1, count / 8)));
+    co_await pool_->freeBurst(queue.hostAgent, bufs, count, q);
+    co_return;
+}
+
+sim::Coro<int>
+PioNic::txBurst(int q, PacketBuf **bufs, int count)
+{
+    if (devState_ != DevState::Running)
+        co_return 0;
+    OpScope guard(hostOps_);
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.hostCosts;
+    const std::uint32_t inline_cap = cfg_.inlineBytes();
+    co_await sim_.delay(cycles(costs.perLoop));
+
+    // Claim free slots. The credit check is a local spin on the slot's
+    // state word: the device's credit write invalidated our copy, so a
+    // slot that looks Free is Free.
+    struct Pending
+    {
+        std::uint32_t idx;
+        WirePacket msg;
+        PacketBuf *spill; ///< Null for inline messages.
+        PacketBuf *buf;   ///< Source buffer (freed here if inline).
+    };
+    std::vector<Pending> pending;
+    std::vector<mem::CoherentSystem::Span> spans;
+    std::uint32_t idx = queue.txProd;
+    for (int i = 0; i < count; ++i) {
+        if (txSlot(queue, idx).state != SlotState::Free) {
+            creditStalls_++;
+            break; // Slot array full: credits not yet returned.
+        }
+        PacketBuf *b = bufs[i];
+        // Lifecycle spans: activate the 1-in-N sampled slot on
+        // accepted buffers only.
+        obs::SpanTable::global().maybeStart(b->span, sim_.now());
+        WirePacket msg{b->wireLen(), b->txTime, b->flowId, b->userData,
+                       1, b->src, b->dst};
+        msg.tp = b->tp;
+        // The span rides in the slot from here; inline TX buffers are
+        // recycled immediately and must not keep an active slot.
+        msg.span = b->span;
+        b->span.clear();
+        const bool spilled = msg.len > inline_cap;
+        if (spilled) {
+            spills_++;
+            if (b->nextSeg)
+                msg.segments = 2;
+        }
+        pending.push_back({idx, msg, spilled ? b : nullptr, b});
+        spans.push_back({txLineOf(queue, idx), slotBytes()});
+        idx++;
+    }
+    if (pending.empty())
+        co_return 0;
+
+    co_await sim_.delay(
+        cycles(costs.perPktTx * static_cast<double>(pending.size())));
+
+    // Posted stores of the slot lines: header + inline payload + the
+    // Ready flip travel as one write burst; message state is published
+    // at store visibility (TSO orders the flip last).
+    queue.txProd = idx;
+    queue.txSubmittedTotal += pending.size();
+    {
+        Queue *qp = &queue;
+        auto publish = [this, qp, pending, simp = &sim_]() {
+            for (const Pending &p : pending) {
+                MsgSlot &s = txSlot(*qp, p.idx);
+                s.msg = p.msg;
+                s.msg.span.stamp(obs::SpanStage::DescPublish,
+                                 simp->now());
+                s.spill = p.spill;
+                s.state = SlotState::Ready;
+            }
+        };
+        co_await mem_.postMulti(queue.hostAgent, spans,
+                                std::move(publish));
+        noteSlotWrite(spans.front().addr);
+    }
+
+    // Inline messages: the payload now lives in the slot lines, so the
+    // source buffer goes straight back to the (host-local) recycle
+    // stack — there is no TX completion to reap. Spilled buffers pass
+    // to the device, which frees them after reading the payload.
+    std::vector<PacketBuf *> frees;
+    for (const Pending &p : pending) {
+        if (!p.spill)
+            frees.push_back(p.buf);
+    }
+    if (!frees.empty()) {
+        co_await pool_->freeBurst(queue.hostAgent, frees.data(),
+                                  static_cast<int>(frees.size()), q);
+    }
+    co_return static_cast<int>(pending.size());
+}
+
+sim::Task
+PioNic::devTxTask(int q)
+{
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.nicCosts;
+
+    for (;;) {
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
+
+        // Poll the head TX slot: a free local spin until the host's
+        // store invalidates our copy, then one (remote) reload.
+        const Addr line = txLineOf(queue, queue.txCons);
+        noteSlotPoll(queue, line);
+        co_await mem_.load(queue.nicAgent, line, slotBytes());
+        co_await devPortDelay();
+        if (txSlot(queue, queue.txCons).state != SlotState::Ready) {
+            co_await mem_.waitLineChangeUntil(
+                line, mem_.lineVersion(line),
+                sim_.now() + cfg_.beatPeriod);
+            continue;
+        }
+
+        // Internal flow control: do not pull TX work while the RX side
+        // is backlogged.
+        while (cfg_.loopback &&
+               queue.rxInput.size() >=
+                   static_cast<std::size_t>(cfg_.nicBatch) * 2) {
+            co_await queue.wireDrained.wait();
+        }
+        if (wedged_ || devState_ != DevState::Running)
+            continue;
+
+        co_await queue.coreLock.acquire();
+        if (wedged_ || devState_ != DevState::Running) {
+            queue.coreLock.release();
+            continue;
+        }
+
+        // Take a batch of Ready slots.
+        struct Taken
+        {
+            std::uint32_t idx;
+            WirePacket msg;
+            PacketBuf *spill;
+        };
+        std::vector<Taken> batch;
+        std::vector<mem::CoherentSystem::Span> spans;
+        std::uint32_t idx = queue.txCons;
+        while (static_cast<int>(batch.size()) < cfg_.nicBatch) {
+            MsgSlot &s = txSlot(queue, idx);
+            if (s.state != SlotState::Ready)
+                break;
+            s.msg.span.stamp(obs::SpanStage::NicObserve, sim_.now());
+            batch.push_back({idx, s.msg, s.spill});
+            s.state = SlotState::Taken;
+            s.spill = nullptr;
+            spans.push_back({txLineOf(queue, idx), slotBytes()});
+            idx++;
+        }
+        if (batch.empty()) {
+            queue.coreLock.release();
+            continue;
+        }
+
+        // Slot-line reads carry header and inline payload together;
+        // spilled payloads are fetched from their pool buffers.
+        co_await mem_.accessMulti(queue.nicAgent, spans, false);
+        co_await devPortDelay();
+        std::vector<mem::CoherentSystem::Span> payload_spans;
+        for (const Taken &t : batch) {
+            if (t.spill) {
+                payload_spans.push_back({t.spill->addr, t.spill->len});
+                if (t.spill->nextSeg) {
+                    payload_spans.push_back(
+                        {t.spill->nextSeg->addr, t.spill->segLen});
+                }
+            }
+        }
+        if (!payload_spans.empty()) {
+            co_await mem_.accessMulti(queue.nicAgent, payload_spans,
+                                      false);
+            co_await devPortDelay();
+        }
+        co_await sim_.delay(
+            cycles(costs.perPktRx * static_cast<double>(batch.size())));
+
+        // Credit return: flip the consumed slots back to Free in slot
+        // metadata (posted stores; the host's capacity check sees the
+        // flip at visibility).
+        queue.txCons = idx;
+        queue.txCompletedTotal += batch.size();
+        {
+            Queue *qp = &queue;
+            std::vector<std::uint32_t> taken_idx;
+            taken_idx.reserve(batch.size());
+            for (const Taken &t : batch)
+                taken_idx.push_back(t.idx);
+            auto publish = [this, qp, taken_idx]() {
+                for (std::uint32_t i : taken_idx)
+                    txSlot(*qp, i).state = SlotState::Free;
+            };
+            co_await mem_.postMulti(queue.nicAgent, spans,
+                                    std::move(publish));
+            co_await devPortDelay();
+            noteSlotWrite(spans.front().addr);
+        }
+
+        // Hand to the wire before buffer release.
+        for (const Taken &t : batch)
+            deliverTx(q, t.msg);
+
+        std::vector<PacketBuf *> frees;
+        for (const Taken &t : batch) {
+            if (t.spill) {
+                t.spill->nextSeg = nullptr;
+                frees.push_back(t.spill);
+            }
+        }
+        if (!frees.empty()) {
+            co_await pool_->freeBurst(queue.nicAgent, frees.data(),
+                                      static_cast<int>(frees.size()),
+                                      q);
+        }
+
+        queue.coreLock.release();
+    }
+}
+
+sim::Task
+PioNic::devRxTask(int q)
+{
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.nicCosts;
+    const std::uint32_t inline_cap = cfg_.inlineBytes();
+
+    for (;;) {
+        while (wedged_ || devState_ != DevState::Running)
+            co_await runGate_.wait();
+        WirePacket first = co_await queue.rxInput.get();
+        // Hold the packet across a lifecycle transition: one stale
+        // delivery after a reset is harmless, processing on a dead
+        // device is not.
+        for (;;) {
+            while (wedged_ || devState_ != DevState::Running)
+                co_await runGate_.wait();
+            co_await queue.coreLock.acquire();
+            if (!wedged_ && devState_ == DevState::Running)
+                break;
+            queue.coreLock.release();
+        }
+
+        std::vector<WirePacket> batch{first};
+        while (static_cast<int>(batch.size()) < cfg_.nicBatch &&
+               !queue.rxInput.empty()) {
+            batch.push_back(co_await queue.rxInput.get());
+        }
+
+        // Place each message into the next Free RX slot. Waits are
+        // bounded so a quiesce (host no longer returning credits)
+        // cannot park this engine inside the core lock.
+        struct Placed
+        {
+            std::uint32_t idx;
+            WirePacket msg;
+            PacketBuf *spill;
+        };
+        std::vector<Placed> placed;
+        std::vector<mem::CoherentSystem::Span> spans;
+        bool abandoned = false;
+        std::uint32_t idx = queue.rxProd;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            while (rxSlot(queue, idx).state != SlotState::Free) {
+                if (devState_ != DevState::Running) {
+                    abandoned = true;
+                    break;
+                }
+                const Addr line = rxLineOf(queue, idx);
+                noteSlotPoll(queue, line);
+                co_await mem_.load(queue.nicAgent, line, slotBytes());
+                co_await devPortDelay();
+                if (rxSlot(queue, idx).state == SlotState::Free)
+                    break;
+                co_await mem_.waitLineChangeUntil(
+                    line, mem_.lineVersion(line),
+                    sim_.now() + cfg_.beatPeriod);
+            }
+            if (abandoned)
+                break;
+            PacketBuf *spill = nullptr;
+            if (batch[i].len > inline_cap) {
+                // Oversized frame: the payload spills to a pool buffer
+                // allocated device-side (recycle stacks make it the
+                // most recently freed one, still device-cached).
+                const int got = co_await pool_->allocBurst(
+                    queue.nicAgent, batch[i].len, &spill, 1, q);
+                if (got == 0 || !spill) {
+                    rxNoBuf_++;
+                    continue; // Drop; the slot stays available.
+                }
+                spill->len = batch[i].len;
+            }
+            spans.push_back({rxLineOf(queue, idx), slotBytes()});
+            if (spill)
+                spans.push_back({spill->addr, batch[i].len});
+            placed.push_back({idx, batch[i], spill});
+            idx++;
+        }
+        if (abandoned) {
+            std::vector<PacketBuf *> give;
+            for (const Placed &p : placed) {
+                if (p.spill)
+                    give.push_back(p.spill);
+            }
+            if (!give.empty()) {
+                co_await pool_->freeBurst(queue.nicAgent, give.data(),
+                                          static_cast<int>(give.size()),
+                                          q);
+            }
+            queue.coreLock.release();
+            continue;
+        }
+        if (placed.empty()) {
+            queue.coreLock.release();
+            if (queue.rxInput.size() <
+                static_cast<std::size_t>(cfg_.nicBatch) * 2) {
+                queue.wireDrained.notifyAll();
+            }
+            continue;
+        }
+
+        co_await sim_.delay(
+            cycles(costs.perPktTx * static_cast<double>(placed.size())));
+
+        // Publish messages (and spilled payloads) with posted stores;
+        // the Ready flip becomes visible at store completion, which is
+        // what wakes the host's idleWait.
+        queue.rxProd = idx;
+        {
+            Queue *qp = &queue;
+            auto publish = [this, qp, placed, simp = &sim_]() {
+                for (const Placed &p : placed) {
+                    MsgSlot &s = rxSlot(*qp, p.idx);
+                    s.msg = p.msg;
+                    s.msg.span.stamp(obs::SpanStage::RxPublish,
+                                     simp->now());
+                    s.spill = p.spill;
+                    s.state = SlotState::Ready;
+                }
+            };
+            co_await mem_.postMulti(queue.nicAgent, spans,
+                                    std::move(publish));
+            co_await devPortDelay();
+            noteSlotWrite(spans.front().addr);
+        }
+
+        queue.coreLock.release();
+        if (queue.rxInput.size() <
+            static_cast<std::size_t>(cfg_.nicBatch) * 2) {
+            queue.wireDrained.notifyAll();
+        }
+    }
+}
+
+sim::Coro<int>
+PioNic::rxBurst(int q, PacketBuf **bufs, int count)
+{
+    if (devState_ != DevState::Running)
+        co_return 0;
+    OpScope guard(hostOps_);
+    Queue &queue = *queues_[q];
+    const auto &costs = cfg_.hostCosts;
+    co_await sim_.delay(cycles(costs.perLoop));
+
+    // Gather Ready slots (local spin: no charge while nothing new).
+    struct Got
+    {
+        std::uint32_t idx;
+        WirePacket msg;
+        PacketBuf *spill;
+    };
+    std::vector<Got> got;
+    std::uint32_t idx = queue.rxCons;
+    while (static_cast<int>(got.size()) < count) {
+        MsgSlot &s = rxSlot(queue, idx);
+        if (s.state != SlotState::Ready)
+            break;
+        got.push_back({idx, s.msg, s.spill});
+        idx++;
+    }
+    if (got.empty())
+        co_return 0;
+
+    // Inline messages need a host-local buffer to land in; spilled
+    // ones already carry the device-filled pool buffer. If the pool
+    // comes up short, leave the uncovered tail Ready for next time.
+    int inline_need = 0;
+    for (const Got &g : got) {
+        if (!g.spill)
+            inline_need++;
+    }
+    std::vector<PacketBuf *> fresh(
+        static_cast<std::size_t>(std::max(inline_need, 1)), nullptr);
+    int fresh_got = 0;
+    if (inline_need > 0) {
+        fresh_got = co_await pool_->allocBurst(
+            queue.hostAgent, cfg_.inlineBytes(), fresh.data(),
+            inline_need, q);
+        if (fresh_got < inline_need) {
+            std::size_t keep = 0;
+            int inline_seen = 0;
+            for (; keep < got.size(); ++keep) {
+                if (!got[keep].spill && ++inline_seen > fresh_got)
+                    break;
+            }
+            got.resize(keep);
+            if (got.empty())
+                co_return 0;
+            idx = got.back().idx + 1;
+        }
+    }
+
+    // Take the slots and charge the reap reads (slot lines carry the
+    // inline payload, so this is the whole cross-socket transfer).
+    std::vector<mem::CoherentSystem::Span> spans;
+    std::vector<mem::CoherentSystem::Span> copy_spans;
+    std::vector<std::uint32_t> taken_idx;
+    int fresh_next = 0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        MsgSlot &s = rxSlot(queue, got[i].idx);
+        s.state = SlotState::Taken;
+        s.spill = nullptr;
+        spans.push_back({rxLineOf(queue, got[i].idx), slotBytes()});
+        taken_idx.push_back(got[i].idx);
+
+        PacketBuf *b = got[i].spill;
+        if (!b) {
+            b = fresh[static_cast<std::size_t>(fresh_next++)];
+            // The inline payload is copied into a host-local recycled
+            // buffer: the stores below hit local lines, and the app's
+            // subsequent payload reads are cache hits rather than the
+            // cross-socket reads the ring interfaces pay.
+            copy_spans.push_back({b->addr, std::max<std::uint32_t>(
+                                               got[i].msg.len, 1)});
+        }
+        const WirePacket &m = got[i].msg;
+        b->len = m.len;
+        b->txTime = m.txTime;
+        b->flowId = m.flowId;
+        b->userData = m.userData;
+        b->src = m.src;
+        b->dst = m.dst;
+        b->tp = m.tp;
+        b->span = m.span;
+        bufs[i] = b;
+    }
+    queue.rxCons = idx;
+
+    co_await mem_.accessMulti(queue.hostAgent, spans, false);
+    if (!copy_spans.empty())
+        co_await mem_.accessMulti(queue.hostAgent, copy_spans, true);
+    co_await sim_.delay(
+        cycles(costs.perPktRx * static_cast<double>(got.size())));
+
+    // Credit return: posted stores flipping the slots Free.
+    {
+        Queue *qp = &queue;
+        auto publish = [this, qp, taken_idx]() {
+            for (std::uint32_t i : taken_idx) {
+                MsgSlot &s = rxSlot(*qp, i);
+                s.msg = WirePacket{};
+                s.state = SlotState::Free;
+            }
+        };
+        co_await mem_.postMulti(queue.hostAgent, spans,
+                                std::move(publish));
+        noteSlotWrite(spans.front().addr);
+    }
+
+    const int n = static_cast<int>(got.size());
+    queue.rxDeliveredTotal += static_cast<std::uint64_t>(n);
+    rxDelivered_ += static_cast<std::uint64_t>(n);
+    for (int i = 0; i < n; ++i) {
+        if (bufs[i]->span.active) {
+            obs::SpanTable::global().commit(cfg_.spanPath,
+                                            bufs[i]->span, sim_.now());
+        }
+    }
+    co_return n;
+}
+
+sim::Coro<void>
+PioNic::idleWait(int q, Tick deadline)
+{
+    Queue &queue = *queues_[q];
+    // The host's next RX work lands in its consumer slot; park on that
+    // line and let the device's publish invalidation wake us. Bounded:
+    // reset() rewinds rxCons, so a waiter must re-check within a beat.
+    const Addr watch = rxLineOf(queue, queue.rxCons);
+    co_await mem_.waitLineChangeUntil(
+        watch, mem_.lineVersion(watch),
+        std::min(deadline, sim_.now() + cfg_.beatPeriod));
+    co_return;
+}
+
+} // namespace ccn::pio

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * PIO-over-coherence: a message-register host-NIC interface with no
+ * descriptor ring.
+ *
+ * "Rethinking Programmed I/O for Fast Devices, Cheap Cores, and
+ * Coherent Interconnects" argues that once the device sits on a
+ * coherent interconnect, small messages should be *pushed* through
+ * shared cache lines rather than *described* in a ring and pulled by
+ * the device. PioNic implements that third interface family as a full
+ * peer of CcNic and PcieNic:
+ *
+ *  - TX: the host writes header + payload inline into a small array
+ *    of cache-line message slots (writer-homed, host socket). The
+ *    device polls the head slot through the coherence model — a free
+ *    local spin until the host's store invalidates its copy — reads
+ *    the slot lines, and returns the credit by flipping the slot's
+ *    state word back to Free (credit carried in slot metadata, no
+ *    separate completion ring).
+ *  - RX: symmetric in the other direction. The device writes arriving
+ *    messages into a second slot array (device-homed under the UPI
+ *    preset) and the host reaps by polling its consumer slot, copying
+ *    the inline payload into a freshly allocated (cache-hot, local)
+ *    pool buffer, and flipping the slot back to Free.
+ *  - Spill: frames larger than the inline budget travel by reference —
+ *    the slot carries a mempool buffer pointer and the payload moves
+ *    through the shared pool exactly as on the ring interfaces.
+ *
+ * Collapsing descriptor publish / doorbell / descriptor fetch /
+ * payload fetch into one slot-line transfer per direction is what
+ * wins at small message sizes; the narrow slot array is also what
+ * loses at bulk throughput, which bench_pio_smallmsg locates as a
+ * crossover against the ring interfaces.
+ *
+ * Two presets: upiConfig() (symmetric CPU-interconnect coherence, the
+ * paper's platform) and cxlConfig() (CXL.cache-flavored: the device
+ * caches *host* memory only, so both slot arrays are host-homed, and
+ * every device-side access pays an added CXL port/flit latency).
+ */
+
+#ifndef CCN_PIO_PIO_HH
+#define CCN_PIO_PIO_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccnic/ccnic.hh"
+#include "driver/mempool.hh"
+#include "driver/nic_iface.hh"
+#include "driver/ring.hh"
+#include "mem/coherence.hh"
+#include "mem/platform.hh"
+#include "obs/obs.hh"
+#include "obs/span.hh"
+#include "obs/trace.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/sync.hh"
+
+namespace ccn::pio {
+
+/// The wire representation is shared with the ring interfaces so the
+/// fabric, transport and chaos harness treat all families alike.
+using ccnic::WirePacket;
+
+/** Full configuration of a PioNic instance. */
+struct Config
+{
+    int numQueues = 1;
+
+    /// Message slots per direction per queue (rounded up to a power
+    /// of two). Deliberately small: the slot array *is* the flow
+    /// control window — a consumed slot's credit returns in its own
+    /// metadata, so capacity never needs a separate signal.
+    std::uint32_t numSlots = 64;
+
+    /// Cache lines per message slot. Two lines = 16B header + 112B
+    /// inline payload, which keeps 64B packets (the paper's small-
+    /// message workhorse) on the inline path.
+    std::uint32_t slotLines = 2;
+
+    /// Header bytes reserved at the front of each slot.
+    std::uint32_t headerBytes = 16;
+
+    driver::MempoolConfig pool;
+    driver::CpuCosts hostCosts{};
+    driver::CpuCosts nicCosts{};
+
+    int nicBatch = 8; ///< Device-side processing burst.
+
+    /// Home the RX slot array on the device socket (writer-homed,
+    /// like CC-NIC's RX ring). The CXL.cache preset turns this off:
+    /// a Type-1 device caches host memory, it exports none.
+    bool deviceHomedRx = true;
+
+    /// Extra latency charged on every device-side slot access burst,
+    /// modeling the CXL.cache port/flit overhead relative to a
+    /// symmetric CPU interconnect. 0 under the UPI preset.
+    sim::Tick devExtraLat = 0;
+
+    sim::Tick wireLat = 0; ///< Loopback wire latency.
+    bool loopback = true;  ///< TX loops back to the same queue's RX.
+
+    /// Device heartbeat publish period; also bounds how long engines
+    /// park on a slot line before re-checking lifecycle state.
+    sim::Tick beatPeriod = sim::fromUs(2.0);
+
+    /// Flat device-reset latency (slot teardown + engine restart).
+    sim::Tick resetLat = sim::fromUs(5.0);
+
+    /// obs::SpanTable path label ("pio" / "pio_cxl").
+    std::string spanPath = "pio";
+
+    /** Inline payload budget per message slot. */
+    std::uint32_t
+    inlineBytes() const
+    {
+        return slotLines * mem::kLineBytes - headerBytes;
+    }
+};
+
+/** UPI-flavored preset: writer-homed slots, no added port latency. */
+Config upiConfig(int num_queues, int host_socket);
+
+/** upiConfig() with platform-calibrated software costs. */
+Config upiConfig(int num_queues, int host_socket,
+                 const mem::PlatformConfig &plat);
+
+/**
+ * CXL.cache-flavored preset: all slots host-homed (the device caches
+ * host memory) and devExtraLat models the longer CXL round trip.
+ */
+Config cxlConfig(int num_queues, int host_socket);
+
+/** cxlConfig() with platform-calibrated software costs. */
+Config cxlConfig(int num_queues, int host_socket,
+                 const mem::PlatformConfig &plat);
+
+/**
+ * A PIO message-register NIC: host-side burst interface plus
+ * device-side polling engines, no descriptor ring anywhere.
+ */
+class PioNic : public driver::NicInterface
+{
+  public:
+    PioNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
+           const Config &config, int host_socket, int nic_socket,
+           sim::Rng &rng);
+
+    /** Spawn the device-side processes. Call once before running. */
+    void start();
+
+    /// @name Wire attachment (external mode; net::hooksFor-compatible).
+    /// @{
+    void
+    setTxSink(std::function<void(int, const WirePacket &)> sink)
+    {
+        txSink_ = std::move(sink);
+    }
+
+    /** Inject a packet for RX delivery on queue @p q. */
+    void injectRx(int q, const WirePacket &pkt);
+    /// @}
+
+    /// @name NicInterface implementation (host side).
+    /// @{
+    sim::Coro<int> txBurst(int q, driver::PacketBuf **bufs,
+                           int count) override;
+    sim::Coro<int> rxBurst(int q, driver::PacketBuf **bufs,
+                           int count) override;
+    sim::Coro<int> allocBufs(int q, std::uint32_t size,
+                             driver::PacketBuf **bufs,
+                             int count) override;
+    sim::Coro<void> freeBufs(int q, driver::PacketBuf **bufs,
+                             int count) override;
+    sim::Coro<void> idleWait(int q, sim::Tick deadline) override;
+    mem::AgentId hostAgent(int q) const override;
+    int numQueues() const override { return cfg_.numQueues; }
+    const driver::CpuCosts &cpuCosts() const override
+    {
+        return cfg_.hostCosts;
+    }
+    /// @}
+
+    /// @name Device lifecycle (NicInterface overrides).
+    /// @{
+    bool supportsLifecycle() const override { return true; }
+    bool operational() const override
+    {
+        return devState_ == DevState::Running;
+    }
+    sim::Coro<void> beatHost() override;
+    sim::Coro<std::uint64_t> readDeviceBeat() override;
+    driver::QueueHealth health(int q) const override;
+    sim::Coro<void> quiesce() override;
+    sim::Coro<void> reset() override;
+    sim::Coro<void> reinit() override;
+    /// @}
+
+    /// @name Fault injection (chaos harness).
+    /// @{
+    void wedge() override { wedged_ = true; }
+    void
+    unwedge()
+    {
+        wedged_ = false;
+        runGate_.notifyAll();
+    }
+    bool wedged() const { return wedged_; }
+    /// @}
+
+    mem::AgentId nicAgent(int q) const;
+    const Config &config() const { return cfg_; }
+    driver::Mempool &pool() { return *pool_; }
+
+    std::size_t auditLeaks() override { return pool_->auditLeaks(); }
+
+    /** Packets that have crossed TX processing (for reports). */
+    std::uint64_t txCount() const { return txCount_; }
+
+    /** RX packets discarded on FCS mismatch. */
+    std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
+
+    /** Slot-state polls (the PIO analogue of ring signal reads). */
+    std::uint64_t slotPolls() const { return slotPolls_; }
+
+    /** Slot-state publishes (message and credit flips). */
+    std::uint64_t slotWrites() const { return slotWrites_; }
+
+    /** Frames that took the spill (pool-buffer) path. */
+    std::uint64_t spills() const { return spills_; }
+
+  private:
+    /** Slot ownership state (the credit lives here). */
+    enum class SlotState : std::uint8_t
+    {
+        Free,  ///< Writable by the producer side.
+        Ready, ///< Holds a message for the consumer side.
+        Taken, ///< Consumer-private: taken, credit flip in flight.
+    };
+
+    /** One logical message slot (simulated lines carry the traffic). */
+    struct MsgSlot
+    {
+        SlotState state = SlotState::Free;
+        WirePacket msg;                      ///< Inline message contents.
+        driver::PacketBuf *spill = nullptr;  ///< Oversized-frame payload.
+    };
+
+    struct Queue
+    {
+        Queue(sim::Simulator &sim, mem::CoherentSystem &m,
+              const Config &cfg, int host_socket, int nic_socket);
+
+        mem::AgentId hostAgent;
+        mem::AgentId nicAgent;
+
+        mem::Addr txBase = 0; ///< Host-homed TX slot lines.
+        mem::Addr rxBase = 0; ///< RX slot lines (homing per config).
+        std::vector<MsgSlot> txSlots;
+        std::vector<MsgSlot> rxSlots;
+
+        // Producer/consumer positions (masked by numSlots-1).
+        std::uint32_t txProd = 0; ///< Host.
+        std::uint32_t txCons = 0; ///< Device.
+        std::uint32_t rxProd = 0; ///< Device.
+        std::uint32_t rxCons = 0; ///< Host.
+
+        sim::Mailbox<WirePacket> rxInput;
+        sim::Semaphore coreLock; ///< One device core serves both tasks.
+        sim::Gate wireDrained;   ///< RX engine drained below cap.
+
+        // Monotonic progress counters (survive resets); the Watchdog
+        // samples these through health() for stall detection.
+        std::uint64_t txSubmittedTotal = 0;
+        std::uint64_t txCompletedTotal = 0;
+        std::uint64_t rxDeliveredTotal = 0;
+
+        /// Per-queue poll child ("pio.slot_polls{queue=N}").
+        obs::Counter *polls = nullptr;
+    };
+
+    /** Device lifecycle state. */
+    enum class DevState : std::uint8_t
+    {
+        Running,
+        Quiescing,
+        Down,
+    };
+
+    /** RAII host-operation counter (quiesce waits for it to drain). */
+    struct OpScope
+    {
+        int &n;
+        explicit OpScope(int &count) : n(count) { ++n; }
+        ~OpScope() { --n; }
+        OpScope(const OpScope &) = delete;
+        OpScope &operator=(const OpScope &) = delete;
+    };
+
+    sim::Task devTxTask(int q);
+    sim::Task devRxTask(int q);
+    sim::Task heartbeatTask();
+
+    /** Bytes occupied by one message slot. */
+    std::uint32_t
+    slotBytes() const
+    {
+        return cfg_.slotLines * mem::kLineBytes;
+    }
+
+    mem::Addr
+    txLineOf(const Queue &q, std::uint32_t idx) const
+    {
+        return q.txBase + static_cast<std::uint64_t>(idx & slotMask_) *
+                              slotBytes();
+    }
+
+    mem::Addr
+    rxLineOf(const Queue &q, std::uint32_t idx) const
+    {
+        return q.rxBase + static_cast<std::uint64_t>(idx & slotMask_) *
+                              slotBytes();
+    }
+
+    MsgSlot &
+    txSlot(Queue &q, std::uint32_t idx)
+    {
+        return q.txSlots[idx & slotMask_];
+    }
+
+    MsgSlot &
+    rxSlot(Queue &q, std::uint32_t idx)
+    {
+        return q.rxSlots[idx & slotMask_];
+    }
+
+    /// @name Slot telemetry (the PIO signaling choke points).
+    /// @{
+    void
+    noteSlotPoll(Queue &q, mem::Addr a)
+    {
+        slotPolls_++;
+        if (q.polls)
+            q.polls->inc();
+        obs::tracepoint(obs::EventKind::RingSignalRead, "pio.slot",
+                        sim_.now(), a);
+    }
+
+    void
+    noteSlotWrite(mem::Addr a)
+    {
+        slotWrites_++;
+        obs::tracepoint(obs::EventKind::RingSignalWrite, "pio.slot",
+                        sim_.now(), a);
+    }
+    /// @}
+
+    /** Extra per-access-burst device latency (CXL.cache preset). */
+    sim::Coro<void>
+    devPortDelay()
+    {
+        if (cfg_.devExtraLat)
+            co_await sim_.delay(cfg_.devExtraLat);
+        co_return;
+    }
+
+    /** Deliver a TX packet to the wire. */
+    void deliverTx(int q, const WirePacket &pkt);
+
+    sim::Tick
+    cycles(double n) const
+    {
+        return mem_.config().cycles(n);
+    }
+
+    sim::Simulator &sim_;
+    mem::CoherentSystem &mem_;
+    Config cfg_;
+    int hostSocket_;
+    int nicSocket_;
+    std::uint32_t slotMask_ = 0;
+
+    std::unique_ptr<driver::Mempool> pool_;
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::function<void(int, const WirePacket &)> txSink_;
+
+    obs::Counter txCount_{"pio.tx_packets"};
+    obs::Counter rxCrcDrops_{"pio.rx_crc_drops"};
+    obs::Counter slotPolls_{"pio.slot_polls"};
+    obs::LabeledCounter slotPollsQ_{"pio.slot_polls", "queue"};
+    obs::Counter slotWrites_{"pio.slot_writes"};
+    obs::Counter rxDelivered_{"pio.rx_delivered"};
+    obs::Counter spills_{"pio.spills"};
+    obs::Counter creditStalls_{"pio.credit_stalls"};
+    obs::Counter rxNoBuf_{"pio.rx_nobuf_drops"};
+    obs::Counter heartbeats_{"pio.heartbeats"};
+    obs::Counter resets_{"pio.resets"};
+    obs::Counter resetReclaimed_{"pio.reset_reclaimed_bufs"};
+    bool started_ = false;
+
+    // Lifecycle state; heartbeat lines are writer-homed single-line
+    // pingpongs exactly as on the ring interfaces.
+    DevState devState_ = DevState::Running;
+    bool wedged_ = false;
+    int hostOps_ = 0;
+    sim::Gate runGate_; ///< Parks device engines while not Running.
+    std::unique_ptr<driver::RegisterLine> hostBeat_;
+    std::unique_ptr<driver::RegisterLine> nicBeat_;
+};
+
+} // namespace ccn::pio
+
+#endif // CCN_PIO_PIO_HH

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""CI gate over bench_fabric_kvstore counter snapshots.
+"""CI gate over bench counter snapshots.
 
-Reads BENCH_fabric_kvstore.json and checks the "counters_lossfree"
-section — a registry snapshot taken right after the loss-free reliable
-point, before any lossy or chaos sweep runs — against built-in
-invariants plus (optionally) a checked-in baseline:
+Reads a bench JSON report and checks one counter-snapshot section
+(--section, default "counters_lossfree" for bench_fabric_kvstore;
+bench_fig11_overview gates its plain "counters" section) against
+built-in invariants plus (optionally) a checked-in baseline:
 
  1. Zero retransmissions on a loss-free fabric. transport.retransmits
     and transport.fast_retransmits firing without wire loss means the
@@ -26,10 +26,17 @@ invariants plus (optionally) a checked-in baseline:
     counter values with a tolerance band. Counters listed under
     "per_packet" are divided by the "normalize_by" counter and
     compared against the recorded expectation; an increase beyond
-    (1 + tolerance) fails. Gauges are never normalized per-packet:
-    a gauge appearing in "per_packet" is a config error, and rows
-    are classified by the "kind" column of the snapshot. Metrics
-    under "zero" must be exactly zero.
+    (1 + tolerance) fails. An entry may also be an object
+    {"expected": X, "normalize_by": "other.counter"} to normalize by
+    a different counter — multi-interface benches normalize each
+    family's counters by that family's own delivered-packet count.
+    Gauges are never normalized per-packet: a gauge appearing in
+    "per_packet" is a config error, and rows are classified by the
+    "kind" column of the snapshot. Metrics under "zero" must be
+    exactly zero.
+
+The rate check (3) looks for the time-series section whose name
+derives from the counter section's ("counters*" -> "timeseries*").
 
 Regenerate the baseline after an intentional perf change with
 --write-baseline (then eyeball the diff before committing):
@@ -64,18 +71,27 @@ DEFAULT_MAX_SIGNAL_READS_PER_PKT = 32.0
 # them by a few percent across legitimate changes.
 DEFAULT_TOLERANCE = 0.25
 
+# Default counter-snapshot section to gate (bench_fabric_kvstore's
+# loss-free snapshot); override with --section for other benches.
+DEFAULT_SECTION = "counters_lossfree"
+
 # Counters whose per-packet cost the baseline tracks by default when
-# writing one. Chosen to cover the interface mechanisms the paper
-# measures: ring signaling, descriptor/doorbell traffic, buffer pool
-# churn, and coherence transactions.
+# writing one, as (counter, normalizer) pairs — None means the
+# baseline's top-level "normalize_by". Chosen to cover the interface
+# mechanisms the paper measures: ring signaling, descriptor/doorbell
+# traffic, buffer pool churn, coherence transactions, and the PIO
+# family's slot-metadata signaling.
 BASELINE_TRACKED = [
-    "ccnic.signal_reads",
-    "ccnic.signal_writes",
-    "ccnic.tx_packets",
-    "pool.allocs",
-    "pool.frees",
-    "mem.remote_reads",
-    "mem.remote_rfos",
+    ("ccnic.signal_reads", None),
+    ("ccnic.signal_writes", None),
+    ("ccnic.tx_packets", None),
+    ("pool.allocs", None),
+    ("pool.frees", None),
+    ("mem.remote_reads", None),
+    ("mem.remote_rfos", None),
+    ("pio.slot_polls", "pio.rx_delivered"),
+    ("pio.slot_writes", "pio.rx_delivered"),
+    ("pio.tx_packets", "pio.rx_delivered"),
 ]
 
 BASELINE_ZERO = [
@@ -133,12 +149,28 @@ def check_invariants(c: dict, max_reads_per_pkt: float,
                 f"signal reads per packet > bound "
                 f"{max_reads_per_pkt}")
 
+    # The PIO family's analogue of the signaling discipline: slot
+    # polls per delivered packet. Only checked when the section came
+    # from a bench that ran a PIO interface.
+    polls = c.get("pio.slot_polls")
+    pio_delivered = c.get("pio.rx_delivered", 0.0)
+    if polls is not None and pio_delivered > 0:
+        ratio = polls / pio_delivered
+        print(f"pio slot polls per delivered packet: {ratio:.2f} "
+              f"(bound {max_reads_per_pkt})")
+        if ratio > max_reads_per_pkt:
+            failures.append(
+                f"PIO signaling efficiency regressed: {ratio:.2f} "
+                f"slot polls per packet > bound {max_reads_per_pkt}")
 
-def check_timeseries(sections: dict, failures: list) -> None:
-    sec = sections.get("timeseries_lossfree")
+
+def check_timeseries(sections: dict, section: str,
+                     failures: list) -> None:
+    ts_name = section.replace("counters", "timeseries", 1)
+    sec = sections.get(ts_name)
     if sec is None:
         # Reports predating the sampler: nothing to rate-check.
-        print("timeseries_lossfree absent; skipping rate checks")
+        print(f"{ts_name} absent; skipping rate checks")
         return
     bad = 0
     for row in sec["rows"]:
@@ -147,7 +179,7 @@ def check_timeseries(sections: dict, failures: list) -> None:
                 metric.startswith("transport.fast_retransmits"):
             if float(row["delta"]) > 0:
                 bad += 1
-    print(f"timeseries_lossfree: {len(sec['rows'])} rows, "
+    print(f"{ts_name}: {len(sec['rows'])} rows, "
           f"{bad} retransmit-rate violations")
     if bad:
         failures.append(
@@ -165,19 +197,33 @@ def check_baseline(c: dict, kinds: dict, baseline: dict,
         return
     tol = baseline.get("tolerance", tolerance)
 
-    for name, expected in baseline.get("per_packet", {}).items():
+    for name, entry in baseline.get("per_packet", {}).items():
         if kinds.get(name) == "gauge":
             failures.append(
                 f"baseline lists gauge '{name}' under per_packet; "
                 "gauges are high-water marks and must not be "
                 "normalized per packet")
             continue
+        # Entries are either a bare expectation (normalized by the
+        # top-level counter) or {"expected", "normalize_by"} for
+        # counters that track a different interface's packet count.
+        if isinstance(entry, dict):
+            expected = float(entry["expected"])
+            this_norm = c.get(entry["normalize_by"], 0.0)
+            if this_norm <= 0:
+                failures.append(
+                    f"baseline normalizer '{entry['normalize_by']}' "
+                    f"for '{name}' missing or zero")
+                continue
+        else:
+            expected = float(entry)
+            this_norm = norm
         actual = c.get(name)
         if actual is None:
             failures.append(f"baseline counter '{name}' missing "
                             "from report")
             continue
-        per_pkt = actual / norm
+        per_pkt = actual / this_norm
         bound = expected * (1.0 + tol)
         verdict = "ok"
         if per_pkt > bound:
@@ -199,18 +245,27 @@ def check_baseline(c: dict, kinds: dict, baseline: dict,
 
 
 def write_baseline(c: dict, kinds: dict, out_path: str,
-                   tolerance: float) -> None:
+                   tolerance: float, section: str) -> None:
     norm_name = "ccnic.rx_delivered"
     norm = c.get(norm_name, 0.0)
     if norm <= 0:
         raise SystemExit(
             f"FAIL: cannot write baseline, '{norm_name}' missing")
     per_pkt = {}
-    for name in BASELINE_TRACKED:
-        if name in c and kinds.get(name) != "gauge":
+    for name, custom_norm in BASELINE_TRACKED:
+        if name not in c or kinds.get(name) == "gauge":
+            continue
+        if custom_norm is None:
             per_pkt[name] = round(c[name] / norm, 6)
+        else:
+            cn = c.get(custom_norm, 0.0)
+            if cn > 0:
+                per_pkt[name] = {
+                    "expected": round(c[name] / cn, 6),
+                    "normalize_by": custom_norm,
+                }
     doc = {
-        "section": "counters_lossfree",
+        "section": section,
         "normalize_by": norm_name,
         "tolerance": tolerance,
         "per_packet": per_pkt,
@@ -224,12 +279,13 @@ def write_baseline(c: dict, kinds: dict, out_path: str,
 
 
 def run_gate(report: str, baseline_path: str,
-             max_reads_per_pkt: float, tolerance: float) -> int:
+             max_reads_per_pkt: float, tolerance: float,
+             section: str = DEFAULT_SECTION) -> int:
     sections = load_sections(report)
-    c, kinds = counters_of(sections, "counters_lossfree", report)
+    c, kinds = counters_of(sections, section, report)
     failures = []
     check_invariants(c, max_reads_per_pkt, failures)
-    check_timeseries(sections, failures)
+    check_timeseries(sections, section, failures)
     if baseline_path:
         with open(baseline_path, encoding="utf-8") as f:
             baseline = json.load(f)
@@ -351,6 +407,58 @@ def selftest() -> int:
                   "passed", file=sys.stderr)
             return 1
 
+        # Section generalization: a fig11-style report gates its plain
+        # "counters" section, with PIO counters normalized by the PIO
+        # family's own delivered count via a per-entry normalizer.
+        def fig11_report(slot_polls: float) -> dict:
+            doc = _synthetic_report(signal_reads=670000)
+            doc["sections"]["counters"] = doc["sections"].pop(
+                "counters_lossfree")
+            doc["sections"]["timeseries"] = doc["sections"].pop(
+                "timeseries_lossfree")
+            doc["sections"]["counters"]["rows"] += [
+                {"counter": "pio.rx_delivered", "kind": "counter",
+                 "value": 50000},
+                {"counter": "pio.slot_polls", "kind": "counter",
+                 "value": slot_polls},
+            ]
+            return doc
+
+        fig_bl = {
+            "section": "counters",
+            "normalize_by": "ccnic.rx_delivered",
+            "tolerance": 0.25,
+            "per_packet": {
+                "ccnic.signal_reads": 6.7,
+                "pio.slot_polls": {"expected": 2.0,
+                                   "normalize_by": "pio.rx_delivered"},
+            },
+            "zero": ["transport.retransmits"],
+        }
+        fbl = os.path.join(td, "fig11_baseline.json")
+        with open(fbl, "w", encoding="utf-8") as f:
+            json.dump(fig_bl, f)
+        fclean = os.path.join(td, "fig11_clean.json")
+        with open(fclean, "w", encoding="utf-8") as f:
+            json.dump(fig11_report(slot_polls=100000), f)
+        if run_gate(fclean, fbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE, section="counters") != 0:
+            print("SELFTEST FAIL: clean sectioned report did not "
+                  "pass", file=sys.stderr)
+            return 1
+
+        # A PIO slot-poll regression (2 -> 40 polls per delivered
+        # packet) must trip both the absolute bound and the
+        # per-entry-normalized baseline band.
+        fbad = os.path.join(td, "fig11_regressed.json")
+        with open(fbad, "w", encoding="utf-8") as f:
+            json.dump(fig11_report(slot_polls=2000000), f)
+        if run_gate(fbad, fbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE, section="counters") == 0:
+            print("SELFTEST FAIL: injected slot-poll regression "
+                  "passed the gate", file=sys.stderr)
+            return 1
+
     print("counters gate selftest passed")
     return 0
 
@@ -358,6 +466,10 @@ def selftest() -> int:
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("report", nargs="?")
+    ap.add_argument("--section", default=None,
+                    help="counter-snapshot section to gate (default: "
+                         "the baseline's 'section' field, else "
+                         f"'{DEFAULT_SECTION}')")
     ap.add_argument("--max-signal-reads-per-pkt", type=float,
                     default=DEFAULT_MAX_SIGNAL_READS_PER_PKT)
     ap.add_argument("--baseline",
@@ -381,14 +493,25 @@ def main() -> int:
         ap.error("report path required (or use --selftest)")
 
     if args.write_baseline:
+        section = args.section or DEFAULT_SECTION
         sections = load_sections(args.report)
-        c, kinds = counters_of(sections, "counters_lossfree",
-                               args.report)
-        write_baseline(c, kinds, args.write_baseline, args.tolerance)
+        c, kinds = counters_of(sections, section, args.report)
+        write_baseline(c, kinds, args.write_baseline, args.tolerance,
+                       section)
         return 0
 
+    # Section resolution: explicit flag, else the baseline's own
+    # "section" field, else the fabric_kvstore default.
+    section = args.section
+    if section is None and args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            section = json.load(f).get("section")
+    if section is None:
+        section = DEFAULT_SECTION
+
     return run_gate(args.report, args.baseline,
-                    args.max_signal_reads_per_pkt, args.tolerance)
+                    args.max_signal_reads_per_pkt, args.tolerance,
+                    section)
 
 
 if __name__ == "__main__":
