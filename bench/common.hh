@@ -6,31 +6,41 @@
  * (deterministic, seeded) and prints measured values next to the
  * paper's reported numbers so EXPERIMENTS.md can be assembled straight
  * from bench output.
+ *
+ * World construction and the interface-family registry live in
+ * src/scenario/world.hh (shared with the scenario runner); this
+ * header re-exports them under ccn::bench so the per-figure binaries
+ * keep their historical spelling, and adds the bench-only
+ * command-line plumbing.
  */
 
 #ifndef CCN_BENCH_COMMON_HH
 #define CCN_BENCH_COMMON_HH
 
 #include <fstream>
-#include <functional>
-#include <memory>
-#include <stdexcept>
 #include <string>
-#include <vector>
 
-#include "ccnic/ccnic.hh"
-#include "mem/platform.hh"
-#include "nic/pcie_nic.hh"
-#include "pio/pio.hh"
-#include "obs/obs.hh"
-#include "obs/sampler.hh"
-#include "obs/span.hh"
 #include "obs/trace.hh"
-#include "stats/json.hh"
-#include "stats/table.hh"
-#include "workload/loopback.hh"
+#include "scenario/world.hh"
 
 namespace ccn::bench {
+
+using scenario::World;
+using scenario::addObsSections;
+using scenario::makeCcNicWorld;
+using scenario::makePcieWorld;
+using scenario::makePioWorld;
+using scenario::InterfaceFamily;
+using scenario::interfaceFamilies;
+using scenario::familyLabel;
+using scenario::canonicalFamilyKey;
+using scenario::worldFactory;
+using scenario::runPoint;
+using scenario::findPeak;
+using scenario::minLatencyNs;
+using scenario::CurvePoint;
+using scenario::traceCurve;
+using scenario::latencyAtLoadNs;
 
 /**
  * Command-line options shared by the bench binaries.
@@ -67,257 +77,6 @@ struct BenchOptions
         f << obs::Trace::global().json() << "\n";
     }
 };
-
-/** A self-contained simulated world for one measurement point. */
-struct World
-{
-    explicit World(const mem::PlatformConfig &plat)
-        : simv(), system(simv, plat), rng(7), sampler(simv)
-    {
-        sampler.start();
-    }
-
-    sim::Simulator simv;
-    mem::CoherentSystem system;
-    sim::Rng rng;
-    /// Time-series snapshotter: every world feeds the process-wide
-    /// sample ring under its own run id, so a bench's "timeseries"
-    /// section separates measurement points.
-    obs::Sampler sampler;
-    std::unique_ptr<driver::NicInterface> nic;
-    ccnic::CcNic *ccnic = nullptr;   // Set when the NIC is a CcNic.
-    nic::PcieNic *pcie = nullptr;    // Set when the NIC is a PcieNic.
-    pio::PioNic *pio = nullptr;      // Set when the NIC is a PioNic.
-};
-
-/**
- * Append the standard observability sections every bench emits:
- *
- *  - "counters": aggregated Registry snapshot (name, kind, value).
- *  - "latency": per-stage packet lifecycle latency percentiles from
- *    the sampled span table (paper Fig 7/11 stage decomposition).
- *  - "timeseries": interval snapshots of counter deltas / gauge
- *    changes recorded by each World's Sampler.
- */
-inline void
-addObsSections(stats::JsonReport &json)
-{
-    json.add("counters", obs::Registry::global().snapshot());
-    json.add("latency", obs::SpanTable::global().table());
-    json.add("timeseries", obs::Sampler::table());
-}
-
-/** Build a world with a CC-NIC (or variant) attached. */
-inline std::unique_ptr<World>
-makeCcNicWorld(const mem::PlatformConfig &plat,
-               const ccnic::CcNicConfig &cfg, int host_socket = 0,
-               int nic_socket = 1)
-{
-    auto w = std::make_unique<World>(plat);
-    auto n = std::make_unique<ccnic::CcNic>(w->simv, w->system, cfg,
-                                            host_socket, nic_socket,
-                                            w->rng);
-    w->ccnic = n.get();
-    n->start();
-    w->nic = std::move(n);
-    return w;
-}
-
-/** Build a world with a PCIe NIC attached. */
-inline std::unique_ptr<World>
-makePcieWorld(const mem::PlatformConfig &plat,
-              const nic::NicParams &params, int queues)
-{
-    auto w = std::make_unique<World>(plat);
-    auto n = std::make_unique<nic::PcieNic>(w->simv, w->system, params,
-                                            queues, 0, w->rng);
-    w->pcie = n.get();
-    n->start();
-    w->nic = std::move(n);
-    return w;
-}
-
-/** Build a world with a PIO message-register NIC attached. */
-inline std::unique_ptr<World>
-makePioWorld(const mem::PlatformConfig &plat, const pio::Config &cfg,
-             int host_socket = 0, int nic_socket = 1)
-{
-    auto w = std::make_unique<World>(plat);
-    auto n = std::make_unique<pio::PioNic>(w->simv, w->system, cfg,
-                                           host_socket, nic_socket,
-                                           w->rng);
-    w->pio = n.get();
-    n->start();
-    w->nic = std::move(n);
-    return w;
-}
-
-/**
- * One entry in the interface-family registry. `kind` names the
- * family's architecture (ring-over-coherence, ring-over-PCIe,
- * PIO-over-coherence) for docs and report labels.
- */
-struct InterfaceFamily
-{
-    const char *key;   ///< Factory key (stable, used in baselines/CI).
-    const char *label; ///< Human-readable series label.
-    const char *kind;  ///< Architecture family.
-};
-
-/**
- * The interface families every comparison bench/example enumerates.
- * Adding an entry here (plus a worldFactory() case) wires a new
- * interface into bench_fig11_overview, bench_pio_smallmsg and
- * examples/interface_compare at once.
- */
-inline const std::vector<InterfaceFamily> &
-interfaceFamilies()
-{
-    static const std::vector<InterfaceFamily> families = {
-        {"ccnic", "CC-NIC", "ring-over-coherence"},
-        {"upi_unopt", "UPI-unopt", "ring-over-coherence"},
-        {"pcie_e810", "PCIe-E810", "ring-over-PCIe"},
-        {"pcie_cx6", "PCIe-CX6", "ring-over-PCIe"},
-        {"pio", "PIO-UPI", "PIO-over-coherence"},
-        {"pio_cxl", "PIO-CXL", "PIO-over-coherence"},
-    };
-    return families;
-}
-
-/** Display label for an interface-family key. */
-inline const char *
-familyLabel(const std::string &key)
-{
-    for (const InterfaceFamily &f : interfaceFamilies()) {
-        if (key == f.key)
-            return f.label;
-    }
-    return key.c_str();
-}
-
-/**
- * World factory for an interface-family key: every measurement point
- * gets a fresh deterministic world with that interface attached.
- * Throws on an unknown key so baseline/CI typos fail loudly.
- */
-inline std::function<std::unique_ptr<World>()>
-worldFactory(const std::string &key, const mem::PlatformConfig &plat,
-             int queues)
-{
-    if (key == "ccnic") {
-        return [plat, queues] {
-            return makeCcNicWorld(
-                plat, ccnic::optimizedConfig(queues, 0, plat));
-        };
-    }
-    if (key == "upi_unopt") {
-        return [plat, queues] {
-            return makeCcNicWorld(
-                plat, ccnic::unoptimizedConfig(queues, 0, plat));
-        };
-    }
-    if (key == "pcie_e810") {
-        return [plat, queues] {
-            return makePcieWorld(plat, nic::e810Params(), queues);
-        };
-    }
-    if (key == "pcie_cx6") {
-        return [plat, queues] {
-            return makePcieWorld(plat, nic::cx6Params(), queues);
-        };
-    }
-    if (key == "pio") {
-        return [plat, queues] {
-            return makePioWorld(plat,
-                                pio::upiConfig(queues, 0, plat));
-        };
-    }
-    if (key == "pio_cxl") {
-        return [plat, queues] {
-            return makePioWorld(plat,
-                                pio::cxlConfig(queues, 0, plat));
-        };
-    }
-    throw std::invalid_argument("unknown interface family: " + key);
-}
-
-/** Run one loopback point in a fresh world built by @p factory. */
-inline workload::LoopbackResult
-runPoint(const std::function<std::unique_ptr<World>()> &factory,
-         workload::LoopbackConfig cfg)
-{
-    auto w = factory();
-    return workload::runLoopback(w->simv, w->system, *w->nic, cfg);
-}
-
-/**
- * Find the peak sustainable packet rate: sweep offered load on a
- * geometric grid around @p guess_pps and return the best achieved
- * rate (the paper's "maximum sustainable rate" methodology).
- */
-inline workload::LoopbackResult
-findPeak(const std::function<std::unique_ptr<World>()> &factory,
-         workload::LoopbackConfig cfg, double guess_pps)
-{
-    workload::LoopbackResult best;
-    for (double f : {0.8, 1.0, 1.3}) {
-        cfg.offeredPps = guess_pps * f;
-        auto r = runPoint(factory, cfg);
-        if (r.achievedMpps > best.achievedMpps)
-            best = r;
-    }
-    return best;
-}
-
-/** Measure the closed-loop (window=1) minimum latency. */
-inline double
-minLatencyNs(const std::function<std::unique_ptr<World>()> &factory,
-             std::uint32_t pkt_size = 64)
-{
-    workload::LoopbackConfig cfg;
-    cfg.threads = 1;
-    cfg.pktSize = pkt_size;
-    cfg.closedWindow = 1;
-    cfg.window = sim::fromUs(250.0);
-    auto r = runPoint(factory, cfg);
-    return r.minNs;
-}
-
-/**
- * Trace a throughput-latency curve: open-loop rates up to slightly
- * past saturation. Returns (achievedMpps, medianNs) pairs.
- */
-struct CurvePoint
-{
-    double offeredMpps, achievedMpps, medianNs, gbps;
-};
-
-inline std::vector<CurvePoint>
-traceCurve(const std::function<std::unique_ptr<World>()> &factory,
-           workload::LoopbackConfig cfg, double max_pps, int points = 7)
-{
-    std::vector<CurvePoint> out;
-    for (int i = 1; i <= points; ++i) {
-        const double frac =
-            static_cast<double>(i) / static_cast<double>(points);
-        cfg.offeredPps = max_pps * frac * frac; // Dense near the knee.
-        auto r = runPoint(factory, cfg);
-        out.push_back({r.offeredMpps, r.achievedMpps, r.medianNs,
-                       r.gbps});
-    }
-    return out;
-}
-
-/** Latency at approximately the given fraction of peak load. */
-inline double
-latencyAtLoadNs(const std::function<std::unique_ptr<World>()> &factory,
-                workload::LoopbackConfig cfg, double peak_pps,
-                double fraction)
-{
-    cfg.offeredPps = peak_pps * fraction;
-    auto r = runPoint(factory, cfg);
-    return r.medianNs;
-}
 
 } // namespace ccn::bench
 

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parsed representation of one scenario (.ccn) file.
+ *
+ * A ScenarioSpec is a fully validated declaration of a run: hosts
+ * with an interface family each, link parameters per fabric
+ * attachment, a KV workload mix, an optional fault schedule, an
+ * optional trace replay, or a loopback small-message sweep. The
+ * parser guarantees referential integrity (every named host exists,
+ * rates are in range), so the runner can build the world without
+ * re-validating.
+ */
+
+#ifndef CCN_SCENARIO_AST_HH
+#define CCN_SCENARIO_AST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccn::scenario {
+
+/** One declared host: a memory system plus one NIC on the fabric. */
+struct HostSpec
+{
+    std::string name;
+    std::string interface = "ccnic"; ///< Canonical family key.
+    int queues = 2;
+    int line = 0, col = 0; ///< Declaration site (diagnostics).
+};
+
+/**
+ * Link parameters applied to the fabric attachment of each listed
+ * endpoint host (uplink and downlink take the same config; the
+ * fabric is a star through one switch, so a two-endpoint link
+ * configures both hosts' cables symmetrically).
+ */
+struct LinkSpec
+{
+    std::vector<std::string> endpoints; ///< Declared host names.
+    double gbps = 100.0;
+    double delayNs = 500.0;
+    int queuePackets = 256;
+    double loss = 0.0;    ///< Random drop probability [0, 1].
+    double dup = 0.0;
+    double reorder = 0.0;
+    double corrupt = 0.0;
+    std::uint64_t seed = 1;
+    int line = 0, col = 0;
+};
+
+/** KV workload mix (maps onto workload::ClientServerConfig). */
+struct WorkloadSpec
+{
+    bool present = false;
+    bool reliable = true; ///< mode reliable | raw.
+    std::string server;   ///< Declared host name.
+    std::string client;
+    double getFraction = 0.95;
+    std::uint64_t objects = 1u << 16;
+    std::string sizes = "ads"; ///< ads | geo | fixed.
+    std::uint32_t fixedBytes = 0; ///< When sizes == "fixed".
+    double offeredMops = 1.0;
+    std::uint32_t requestBytes = 64;
+    int clientQueues = 2;
+    int serverThreads = 4;
+    double warmupUs = 50.0;
+    double windowUs = 250.0;
+    double drainUs = 2000.0;
+    double minRtoUs = 0.0; ///< 0: transport default.
+    std::uint64_t seed = 42;
+    std::string captureFile; ///< Nonempty: record the request stream.
+    int line = 0, col = 0;
+};
+
+/** Fault schedule (maps onto workload::ChaosConfig). */
+struct FaultSpec
+{
+    bool present = false;
+    std::uint64_t seed = 0xc4a05ULL;
+    std::string target; ///< Host whose NIC/links take the faults.
+    int nicWedges = 3;
+    int linkFlaps = 2;
+    double flapDownUs = 5.0;
+    int lossBursts = 2;
+    int burstDrops = 4;
+    int line = 0, col = 0;
+};
+
+/** Trace replay of a recorded request stream through the KV server. */
+struct ReplaySpec
+{
+    bool present = false;
+    std::string traceFile;
+    std::string server;
+    std::string client;
+    bool preserveGaps = true; ///< pacing recorded | max.
+    int clientQueues = 2;
+    int serverThreads = 4;
+    std::uint64_t objects = 1u << 16;
+    std::string sizes = "ads";
+    std::uint32_t fixedBytes = 0;
+    double drainUs = 2000.0;
+    double minRtoUs = 0.0;
+    std::uint64_t seed = 42;
+    int line = 0, col = 0;
+};
+
+/** Loopback small-message latency sweep across interface families. */
+struct SweepSpec
+{
+    bool present = false;
+    std::vector<std::string> interfaces; ///< Canonical family keys.
+    std::vector<std::uint32_t> sizes;
+    int queues = 1;
+    double windowUs = 250.0;
+    int line = 0, col = 0;
+};
+
+/** One fully parsed and validated scenario. */
+struct ScenarioSpec
+{
+    std::string name = "scenario";
+    std::string file; ///< Source path (diagnostics, reports).
+    std::string platform = "icx"; ///< icx | spr.
+    std::vector<HostSpec> hosts;
+    std::vector<LinkSpec> links;
+    WorkloadSpec workload;
+    FaultSpec faults;
+    ReplaySpec replay;
+    SweepSpec sweep;
+
+    /** Declared host by name, or nullptr. */
+    const HostSpec *
+    host(const std::string &n) const
+    {
+        for (const HostSpec &h : hosts) {
+            if (h.name == n)
+                return &h;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace ccn::scenario
+
+#endif // CCN_SCENARIO_AST_HH

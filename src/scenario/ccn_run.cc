@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ccn_run: load a .ccn scenario file, build the declared world, run
+ * it, print the result tables, and write the standard
+ * BENCH_scenario_<name>.json report (results + counters + latency +
+ * timeseries) so tools/counters_gate.py gates scenario runs exactly
+ * like bench runs.
+ *
+ * Usage: ccn_run [--quiet] [--trace <file>] <scenario.ccn>
+ *
+ * Exit codes: 0 run complete, 1 runtime failure, 2 scenario
+ * parse/validation error (diagnostic on stderr as file:line:col).
+ */
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "obs/trace.hh"
+#include "scenario/parser.hh"
+#include "scenario/runner.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: ccn_run [--quiet] [--trace <file>] "
+                 "<scenario.ccn>\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string trace_file;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--trace" && i + 1 < argc) {
+            trace_file = argv[++i];
+            ccn::obs::Trace::global().enable(1 << 18);
+        } else if (!a.empty() && a[0] == '-') {
+            return usage();
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    try {
+        const ccn::scenario::ScenarioSpec spec =
+            ccn::scenario::loadScenario(path);
+        const ccn::scenario::ScenarioOutcome out =
+            ccn::scenario::runScenario(spec, quiet);
+        const std::string written = out.json.write();
+        if (!quiet && !written.empty())
+            std::cout << "\nwrote " << written << "\n";
+        if (!trace_file.empty()) {
+            std::ofstream f(trace_file);
+            f << ccn::obs::Trace::global().json() << "\n";
+        }
+    } catch (const ccn::scenario::ScenarioError &e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    } catch (const std::exception &e) {
+        std::cerr << "ccn_run: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

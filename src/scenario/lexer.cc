@@ -1,0 +1,180 @@
+#include "scenario/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ccn::scenario {
+
+std::string
+Token::describe() const
+{
+    switch (kind) {
+      case TokKind::Ident: return "'" + text + "'";
+      case TokKind::Number: return "number '" + text + "'";
+      case TokKind::String: return "string \"" + text + "\"";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::Semi: return "';'";
+      case TokKind::End: return "end of input";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &file, const std::string &source)
+{
+    std::vector<Token> out;
+    int line = 1, col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    const auto advance = [&](std::size_t k) {
+        for (std::size_t j = 0; j < k; ++j, ++i) {
+            if (source[i] == '\n') {
+                line++;
+                col = 1;
+            } else {
+                col++;
+            }
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+        if (c == '#') { // Comment to end of line.
+            while (i < n && source[i] != '\n')
+                advance(1);
+            continue;
+        }
+
+        Token t;
+        t.line = line;
+        t.col = col;
+
+        if (c == '{' || c == '}' || c == ';') {
+            t.kind = c == '{' ? TokKind::LBrace
+                     : c == '}' ? TokKind::RBrace
+                                : TokKind::Semi;
+            t.text = c;
+            advance(1);
+            out.push_back(t);
+            continue;
+        }
+
+        if (c == '"') {
+            advance(1);
+            std::string v;
+            while (i < n && source[i] != '"' && source[i] != '\n') {
+                v += source[i];
+                advance(1);
+            }
+            if (i >= n || source[i] != '"') {
+                throw ScenarioError(file, t.line, t.col,
+                                    "unterminated string literal");
+            }
+            advance(1);
+            t.kind = TokKind::String;
+            t.text = v;
+            out.push_back(t);
+            continue;
+        }
+
+        if (identStart(c)) {
+            std::string v;
+            while (i < n && identCont(source[i])) {
+                v += source[i];
+                advance(1);
+            }
+            t.kind = TokKind::Ident;
+            t.text = v;
+            out.push_back(t);
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+' || c == '.') {
+            std::string v;
+            // 0x-hex (seeds) or decimal/scientific.
+            const bool hex = c == '0' && i + 1 < n &&
+                             (source[i + 1] == 'x' ||
+                              source[i + 1] == 'X');
+            if (hex) {
+                v += source[i];
+                v += source[i + 1];
+                advance(2);
+                while (i < n &&
+                       std::isxdigit(
+                           static_cast<unsigned char>(source[i]))) {
+                    v += source[i];
+                    advance(1);
+                }
+                if (v.size() == 2) {
+                    throw ScenarioError(file, t.line, t.col,
+                                        "malformed hex literal '" + v +
+                                            "'");
+                }
+                t.number = static_cast<double>(
+                    std::strtoull(v.c_str() + 2, nullptr, 16));
+            } else {
+                while (i < n &&
+                       (std::isdigit(static_cast<unsigned char>(
+                            source[i])) ||
+                        source[i] == '.' || source[i] == '-' ||
+                        source[i] == '+' || source[i] == 'e' ||
+                        source[i] == 'E')) {
+                    // Sign characters only lead or follow an exponent.
+                    if ((source[i] == '-' || source[i] == '+') &&
+                        !v.empty() && v.back() != 'e' &&
+                        v.back() != 'E')
+                        break;
+                    v += source[i];
+                    advance(1);
+                }
+                char *end = nullptr;
+                t.number = std::strtod(v.c_str(), &end);
+                if (v.empty() || end != v.c_str() + v.size()) {
+                    throw ScenarioError(file, t.line, t.col,
+                                        "malformed number '" + v +
+                                            "'");
+                }
+            }
+            t.kind = TokKind::Number;
+            t.text = v;
+            out.push_back(t);
+            continue;
+        }
+
+        throw ScenarioError(file, line, col,
+                            std::string("unexpected character '") + c +
+                                "'");
+    }
+
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace ccn::scenario

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tokenizer for the scenario DSL (.ccn files).
+ *
+ * The language is deliberately tiny: identifiers, numbers (decimal,
+ * scientific, or 0x-hex), quoted strings, and the punctuation
+ * `{ } ;`. `#` starts a comment running to end of line. Every token
+ * carries its 1-based line and column so the parser can report
+ * file:line:col diagnostics, which is most of the point of writing a
+ * real lexer instead of a strtok loop.
+ */
+
+#ifndef CCN_SCENARIO_LEXER_HH
+#define CCN_SCENARIO_LEXER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ccn::scenario {
+
+/** Token classes produced by the lexer. */
+enum class TokKind : std::uint8_t
+{
+    Ident,  ///< Keyword or name: [A-Za-z_][A-Za-z0-9_]*.
+    Number, ///< Decimal / scientific / 0x-hex literal.
+    String, ///< Double-quoted, no embedded newlines.
+    LBrace,
+    RBrace,
+    Semi,
+    End, ///< End of input (always the last token).
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;  ///< Raw text (string tokens: unquoted value).
+    double number = 0; ///< Valid when kind == Number.
+    int line = 1;      ///< 1-based source line.
+    int col = 1;       ///< 1-based source column.
+
+    /** Printable name for diagnostics ("'{'", "end of input", ...). */
+    std::string describe() const;
+};
+
+/**
+ * Scenario-language error with a source position. what() renders the
+ * standard compiler diagnostic shape: `file:line:col: message`.
+ */
+class ScenarioError : public std::runtime_error
+{
+  public:
+    ScenarioError(const std::string &file, int line, int col,
+                  const std::string &message)
+        : std::runtime_error(file + ":" + std::to_string(line) + ":" +
+                             std::to_string(col) + ": " + message),
+          file_(file), line_(line), col_(col), message_(message)
+    {}
+
+    const std::string &file() const { return file_; }
+    int line() const { return line_; }
+    int col() const { return col_; }
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string file_;
+    int line_, col_;
+    std::string message_;
+};
+
+/**
+ * Tokenize @p source (as read from @p file, used only for
+ * diagnostics). Throws ScenarioError on a malformed token: an
+ * unterminated string, a bad number, or a character outside the
+ * language.
+ */
+std::vector<Token> lex(const std::string &file,
+                       const std::string &source);
+
+} // namespace ccn::scenario
+
+#endif // CCN_SCENARIO_LEXER_HH

@@ -1,0 +1,538 @@
+#include "scenario/parser.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/world.hh"
+
+namespace ccn::scenario {
+
+namespace {
+
+/** Token-stream cursor with the shared error helpers. */
+class Parser
+{
+  public:
+    Parser(std::string file, const std::string &source)
+        : file_(std::move(file)), toks_(lex(file_, source))
+    {}
+
+    ScenarioSpec
+    parse()
+    {
+        ScenarioSpec spec;
+        spec.file = file_;
+        while (!at(TokKind::End))
+            statement(spec);
+        validate(spec);
+        return spec;
+    }
+
+  private:
+    const Token &peek() const { return toks_[pos_]; }
+
+    const Token &
+    next()
+    {
+        const Token &t = toks_[pos_];
+        if (t.kind != TokKind::End)
+            pos_++;
+        return t;
+    }
+
+    bool at(TokKind k) const { return peek().kind == k; }
+
+    [[noreturn]] void
+    fail(const Token &t, const std::string &msg) const
+    {
+        throw ScenarioError(file_, t.line, t.col, msg);
+    }
+
+    Token
+    expect(TokKind k, const std::string &what)
+    {
+        if (!at(k))
+            fail(peek(), "expected " + what + ", got " +
+                             peek().describe());
+        return next();
+    }
+
+    std::string
+    expectIdent(const std::string &what)
+    {
+        return expect(TokKind::Ident, what).text;
+    }
+
+    double
+    expectNumber(const std::string &what)
+    {
+        return expect(TokKind::Number, "a number for " + what).number;
+    }
+
+    /** A number constrained to [lo, hi]; diagnostics carry the range. */
+    double
+    numberIn(const std::string &what, double lo, double hi)
+    {
+        const Token &t = peek();
+        const double v = expectNumber(what);
+        if (!(v >= lo && v <= hi)) {
+            std::ostringstream os;
+            os << what << " " << t.text << " out of range [" << lo
+               << ", " << hi << "]";
+            fail(t, os.str());
+        }
+        return v;
+    }
+
+    std::uint32_t
+    positiveInt(const std::string &what, double hi = 1e9)
+    {
+        return static_cast<std::uint32_t>(numberIn(what, 1, hi));
+    }
+
+    void
+    semi()
+    {
+        expect(TokKind::Semi, "';'");
+    }
+
+    void
+    statement(ScenarioSpec &spec)
+    {
+        const Token kw = expect(TokKind::Ident, "a statement keyword");
+        if (kw.text == "scenario") {
+            spec.name = expect(TokKind::String,
+                               "a quoted scenario name").text;
+            semi();
+        } else if (kw.text == "platform") {
+            const Token t = peek();
+            spec.platform = expectIdent("a platform name");
+            if (spec.platform != "icx" && spec.platform != "spr")
+                fail(t, "unknown platform '" + spec.platform +
+                            "' (expected icx or spr)");
+            semi();
+        } else if (kw.text == "host") {
+            hostBlock(spec);
+        } else if (kw.text == "link") {
+            linkBlock(spec);
+        } else if (kw.text == "workload") {
+            workloadBlock(spec);
+        } else if (kw.text == "faults") {
+            faultsBlock(spec);
+        } else if (kw.text == "replay") {
+            replayBlock(spec);
+        } else if (kw.text == "sweep") {
+            sweepBlock(spec);
+        } else {
+            fail(kw, "unknown keyword '" + kw.text + "'");
+        }
+    }
+
+    void
+    hostBlock(ScenarioSpec &spec)
+    {
+        HostSpec h;
+        const Token name = expect(TokKind::Ident, "a host name");
+        h.name = name.text;
+        h.line = name.line;
+        h.col = name.col;
+        if (spec.host(h.name))
+            fail(name, "duplicate host name '" + h.name + "'");
+        expect(TokKind::LBrace, "'{'");
+        while (!at(TokKind::RBrace)) {
+            const Token p = expect(TokKind::Ident, "a host property");
+            if (p.text == "interface") {
+                const Token t = peek();
+                const std::string key =
+                    canonicalFamilyKey(expectIdent(
+                        "an interface family"));
+                if (key.empty())
+                    fail(t, "unknown interface family '" + t.text +
+                                "' (known: " + familyKeyList() + ")");
+                h.interface = key;
+            } else if (p.text == "queues") {
+                h.queues = static_cast<int>(
+                    positiveInt("queues", 64));
+            } else {
+                fail(p, "unknown keyword '" + p.text +
+                            "' in host block");
+            }
+            semi();
+        }
+        next(); // '}'
+        spec.hosts.push_back(h);
+    }
+
+    void
+    linkBlock(ScenarioSpec &spec)
+    {
+        LinkSpec l;
+        const Token first = expect(TokKind::Ident, "a link endpoint");
+        l.line = first.line;
+        l.col = first.col;
+        l.endpoints.push_back(first.text);
+        while (at(TokKind::Ident))
+            l.endpoints.push_back(next().text);
+        expect(TokKind::LBrace, "'{'");
+        while (!at(TokKind::RBrace)) {
+            const Token p = expect(TokKind::Ident, "a link property");
+            if (p.text == "gbps")
+                l.gbps = numberIn("gbps", 1e-3, 1e4);
+            else if (p.text == "delay_ns")
+                l.delayNs = numberIn("delay_ns", 0, 1e9);
+            else if (p.text == "queue_pkts")
+                l.queuePackets = static_cast<int>(
+                    positiveInt("queue_pkts", 1e6));
+            else if (p.text == "loss")
+                l.loss = numberIn("loss", 0, 1);
+            else if (p.text == "dup")
+                l.dup = numberIn("dup", 0, 1);
+            else if (p.text == "reorder")
+                l.reorder = numberIn("reorder", 0, 1);
+            else if (p.text == "corrupt")
+                l.corrupt = numberIn("corrupt", 0, 1);
+            else if (p.text == "seed")
+                l.seed = static_cast<std::uint64_t>(
+                    expectNumber("seed"));
+            else
+                fail(p, "unknown keyword '" + p.text +
+                            "' in link block");
+            semi();
+        }
+        next(); // '}'
+        spec.links.push_back(l);
+    }
+
+    /** value_sizes: ads | geo | a fixed byte count. */
+    void
+    parseSizes(std::string &sizes, std::uint32_t &fixed)
+    {
+        if (at(TokKind::Number)) {
+            sizes = "fixed";
+            fixed = positiveInt("value_sizes", 9600);
+            return;
+        }
+        const Token t = peek();
+        sizes = expectIdent("a size distribution");
+        if (sizes != "ads" && sizes != "geo")
+            fail(t, "unknown size distribution '" + sizes +
+                        "' (expected ads, geo, or a byte count)");
+    }
+
+    void
+    workloadBlock(ScenarioSpec &spec)
+    {
+        const Token kind = expect(TokKind::Ident, "a workload kind");
+        if (kind.text != "kv")
+            fail(kind, "unknown workload kind '" + kind.text +
+                           "' (only kv is defined)");
+        if (spec.workload.present)
+            fail(kind, "duplicate workload block");
+        WorkloadSpec &w = spec.workload;
+        w.present = true;
+        w.line = kind.line;
+        w.col = kind.col;
+        expect(TokKind::LBrace, "'{'");
+        while (!at(TokKind::RBrace)) {
+            const Token p = expect(TokKind::Ident,
+                                   "a workload property");
+            if (p.text == "mode") {
+                const Token t = peek();
+                const std::string m = expectIdent("a workload mode");
+                if (m == "reliable")
+                    w.reliable = true;
+                else if (m == "raw")
+                    w.reliable = false;
+                else
+                    fail(t, "unknown mode '" + m +
+                                "' (expected reliable or raw)");
+            } else if (p.text == "server") {
+                w.server = expectIdent("a host name");
+            } else if (p.text == "client") {
+                w.client = expectIdent("a host name");
+            } else if (p.text == "get_fraction") {
+                w.getFraction = numberIn("get_fraction", 0, 1);
+            } else if (p.text == "objects") {
+                w.objects = positiveInt("objects", 1 << 24);
+            } else if (p.text == "value_sizes") {
+                parseSizes(w.sizes, w.fixedBytes);
+            } else if (p.text == "offered_mops") {
+                w.offeredMops = numberIn("offered_mops", 1e-6, 1e4);
+            } else if (p.text == "request_bytes") {
+                w.requestBytes = positiveInt("request_bytes", 9600);
+            } else if (p.text == "client_queues") {
+                w.clientQueues = static_cast<int>(
+                    positiveInt("client_queues", 64));
+            } else if (p.text == "server_threads") {
+                w.serverThreads = static_cast<int>(
+                    positiveInt("server_threads", 64));
+            } else if (p.text == "warmup_us") {
+                w.warmupUs = numberIn("warmup_us", 0, 1e6);
+            } else if (p.text == "window_us") {
+                w.windowUs = numberIn("window_us", 1, 1e7);
+            } else if (p.text == "drain_us") {
+                w.drainUs = numberIn("drain_us", 0, 1e7);
+            } else if (p.text == "min_rto_us") {
+                w.minRtoUs = numberIn("min_rto_us", 0, 1e6);
+            } else if (p.text == "seed") {
+                w.seed = static_cast<std::uint64_t>(
+                    expectNumber("seed"));
+            } else if (p.text == "capture") {
+                w.captureFile = expect(TokKind::String,
+                                       "a capture file path").text;
+            } else {
+                fail(p, "unknown keyword '" + p.text +
+                            "' in workload block");
+            }
+            semi();
+        }
+        next(); // '}'
+    }
+
+    void
+    faultsBlock(ScenarioSpec &spec)
+    {
+        if (spec.faults.present)
+            fail(peek(), "duplicate faults block");
+        FaultSpec &f = spec.faults;
+        f.present = true;
+        f.line = peek().line;
+        f.col = peek().col;
+        expect(TokKind::LBrace, "'{'");
+        while (!at(TokKind::RBrace)) {
+            const Token p = expect(TokKind::Ident, "a fault property");
+            if (p.text == "seed")
+                f.seed = static_cast<std::uint64_t>(
+                    expectNumber("seed"));
+            else if (p.text == "target")
+                f.target = expectIdent("a host name");
+            else if (p.text == "nic_wedges")
+                f.nicWedges = static_cast<int>(
+                    numberIn("nic_wedges", 0, 1e4));
+            else if (p.text == "link_flaps")
+                f.linkFlaps = static_cast<int>(
+                    numberIn("link_flaps", 0, 1e4));
+            else if (p.text == "flap_down_us")
+                f.flapDownUs = numberIn("flap_down_us", 0, 1e6);
+            else if (p.text == "loss_bursts")
+                f.lossBursts = static_cast<int>(
+                    numberIn("loss_bursts", 0, 1e4));
+            else if (p.text == "burst_drops")
+                f.burstDrops = static_cast<int>(
+                    numberIn("burst_drops", 0, 1e4));
+            else
+                fail(p, "unknown keyword '" + p.text +
+                            "' in faults block");
+            semi();
+        }
+        next(); // '}'
+    }
+
+    void
+    replayBlock(ScenarioSpec &spec)
+    {
+        if (spec.replay.present)
+            fail(peek(), "duplicate replay block");
+        ReplaySpec &r = spec.replay;
+        r.present = true;
+        r.line = peek().line;
+        r.col = peek().col;
+        expect(TokKind::LBrace, "'{'");
+        while (!at(TokKind::RBrace)) {
+            const Token p = expect(TokKind::Ident,
+                                   "a replay property");
+            if (p.text == "trace") {
+                r.traceFile = expect(TokKind::String,
+                                     "a trace file path").text;
+            } else if (p.text == "server") {
+                r.server = expectIdent("a host name");
+            } else if (p.text == "client") {
+                r.client = expectIdent("a host name");
+            } else if (p.text == "pacing") {
+                const Token t = peek();
+                const std::string m = expectIdent("a pacing mode");
+                if (m == "recorded")
+                    r.preserveGaps = true;
+                else if (m == "max")
+                    r.preserveGaps = false;
+                else
+                    fail(t, "unknown pacing '" + m +
+                                "' (expected recorded or max)");
+            } else if (p.text == "client_queues") {
+                r.clientQueues = static_cast<int>(
+                    positiveInt("client_queues", 64));
+            } else if (p.text == "server_threads") {
+                r.serverThreads = static_cast<int>(
+                    positiveInt("server_threads", 64));
+            } else if (p.text == "objects") {
+                r.objects = positiveInt("objects", 1 << 24);
+            } else if (p.text == "value_sizes") {
+                parseSizes(r.sizes, r.fixedBytes);
+            } else if (p.text == "drain_us") {
+                r.drainUs = numberIn("drain_us", 0, 1e7);
+            } else if (p.text == "min_rto_us") {
+                r.minRtoUs = numberIn("min_rto_us", 0, 1e6);
+            } else if (p.text == "seed") {
+                r.seed = static_cast<std::uint64_t>(
+                    expectNumber("seed"));
+            } else {
+                fail(p, "unknown keyword '" + p.text +
+                            "' in replay block");
+            }
+            semi();
+        }
+        next(); // '}'
+    }
+
+    void
+    sweepBlock(ScenarioSpec &spec)
+    {
+        const Token kind = expect(TokKind::Ident, "a sweep kind");
+        if (kind.text != "smallmsg")
+            fail(kind, "unknown sweep kind '" + kind.text +
+                           "' (only smallmsg is defined)");
+        if (spec.sweep.present)
+            fail(kind, "duplicate sweep block");
+        SweepSpec &s = spec.sweep;
+        s.present = true;
+        s.line = kind.line;
+        s.col = kind.col;
+        expect(TokKind::LBrace, "'{'");
+        while (!at(TokKind::RBrace)) {
+            const Token p = expect(TokKind::Ident, "a sweep property");
+            if (p.text == "interfaces") {
+                do {
+                    const Token t = peek();
+                    const std::string key =
+                        canonicalFamilyKey(expectIdent(
+                            "an interface family"));
+                    if (key.empty())
+                        fail(t, "unknown interface family '" +
+                                    t.text + "' (known: " +
+                                    familyKeyList() + ")");
+                    s.interfaces.push_back(key);
+                } while (at(TokKind::Ident));
+            } else if (p.text == "sizes") {
+                do {
+                    s.sizes.push_back(positiveInt("sizes", 9600));
+                } while (at(TokKind::Number));
+            } else if (p.text == "queues") {
+                s.queues = static_cast<int>(
+                    positiveInt("queues", 64));
+            } else if (p.text == "window_us") {
+                s.windowUs = numberIn("window_us", 1, 1e7);
+            } else {
+                fail(p, "unknown keyword '" + p.text +
+                            "' in sweep block");
+            }
+            semi();
+        }
+        next(); // '}'
+    }
+
+    /** Cross-reference checks once the whole file is parsed. */
+    void
+    validate(const ScenarioSpec &spec) const
+    {
+        for (const LinkSpec &l : spec.links) {
+            for (const std::string &ep : l.endpoints) {
+                if (!spec.host(ep))
+                    throw ScenarioError(
+                        file_, l.line, l.col,
+                        "link endpoint '" + ep +
+                            "' is not a declared host");
+            }
+        }
+        const auto requireHost = [&](const std::string &role,
+                                     const std::string &name, int line,
+                                     int col) {
+            if (name.empty())
+                throw ScenarioError(file_, line, col,
+                                    "missing " + role +
+                                        " host declaration");
+            if (!spec.host(name))
+                throw ScenarioError(file_, line, col,
+                                    role + " '" + name +
+                                        "' is not a declared host");
+        };
+        if (spec.workload.present) {
+            const WorkloadSpec &w = spec.workload;
+            requireHost("server", w.server, w.line, w.col);
+            requireHost("client", w.client, w.line, w.col);
+        }
+        if (spec.faults.present) {
+            const FaultSpec &f = spec.faults;
+            requireHost("target", f.target, f.line, f.col);
+            if (!spec.workload.present || !spec.workload.reliable)
+                throw ScenarioError(
+                    file_, f.line, f.col,
+                    "faults require a reliable kv workload (chaos "
+                    "recovery rides the transport)");
+            if (f.target != spec.workload.client)
+                throw ScenarioError(
+                    file_, f.line, f.col,
+                    "fault target must be the workload client host "
+                    "(the chaos harness wedges the client NIC and "
+                    "flaps its links)");
+        }
+        if (spec.replay.present) {
+            const ReplaySpec &r = spec.replay;
+            requireHost("server", r.server, r.line, r.col);
+            requireHost("client", r.client, r.line, r.col);
+            if (r.traceFile.empty())
+                throw ScenarioError(file_, r.line, r.col,
+                                    "replay block needs a trace "
+                                    "file");
+            if (spec.workload.present)
+                throw ScenarioError(
+                    file_, r.line, r.col,
+                    "a scenario declares either a workload or a "
+                    "replay, not both");
+        }
+        if (spec.sweep.present) {
+            const SweepSpec &s = spec.sweep;
+            if (s.interfaces.empty() || s.sizes.empty())
+                throw ScenarioError(
+                    file_, s.line, s.col,
+                    "sweep needs at least one interface and one "
+                    "size");
+            if (spec.workload.present || spec.replay.present ||
+                !spec.hosts.empty())
+                throw ScenarioError(
+                    file_, s.line, s.col,
+                    "a sweep scenario is standalone (loopback "
+                    "worlds; no hosts/workload/replay blocks)");
+        }
+        if (!spec.workload.present && !spec.replay.present &&
+            !spec.sweep.present)
+            throw ScenarioError(file_, 1, 1,
+                                "scenario declares nothing to run "
+                                "(workload, replay, or sweep)");
+    }
+
+    std::string file_;
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+ScenarioSpec
+parseScenario(const std::string &file, const std::string &source)
+{
+    return Parser(file, source).parse();
+}
+
+ScenarioSpec
+loadScenario(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw ScenarioError(path, 1, 1, "cannot open scenario file");
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseScenario(path, ss.str());
+}
+
+} // namespace ccn::scenario

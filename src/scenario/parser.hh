@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Recursive-descent parser for the scenario DSL.
+ *
+ * Grammar (EBNF; also reproduced in DESIGN.md):
+ *
+ *   scenario    = { statement } ;
+ *   statement   = "scenario" string ";"
+ *               | "platform" ident ";"                (* icx | spr *)
+ *               | "host" ident "{" { host-prop } "}"
+ *               | "link" ident { ident } "{" { link-prop } "}"
+ *               | "workload" "kv" "{" { kv-prop } "}"
+ *               | "faults" "{" { fault-prop } "}"
+ *               | "replay" "{" { replay-prop } "}"
+ *               | "sweep" "smallmsg" "{" { sweep-prop } "}" ;
+ *   host-prop   = "interface" ident ";" | "queues" number ";" ;
+ *   link-prop   = ( "gbps" | "delay_ns" | "queue_pkts" | "loss"
+ *                 | "dup" | "reorder" | "corrupt" | "seed" )
+ *                 number ";" ;
+ *   kv-prop     = "mode" ( "reliable" | "raw" ) ";"
+ *               | ( "server" | "client" ) ident ";"
+ *               | "value_sizes" ( "ads" | "geo" | number ) ";"
+ *               | "capture" string ";"
+ *               | ( "get_fraction" | "objects" | "offered_mops"
+ *                 | "request_bytes" | "client_queues"
+ *                 | "server_threads" | "warmup_us" | "window_us"
+ *                 | "drain_us" | "min_rto_us" | "seed" ) number ";" ;
+ *   fault-prop  = "target" ident ";"
+ *               | ( "seed" | "nic_wedges" | "link_flaps"
+ *                 | "flap_down_us" | "loss_bursts" | "burst_drops" )
+ *                 number ";" ;
+ *   replay-prop = "trace" string ";"
+ *               | ( "server" | "client" ) ident ";"
+ *               | "pacing" ( "recorded" | "max" ) ";"
+ *               | "value_sizes" ( "ads" | "geo" | number ) ";"
+ *               | ( "client_queues" | "server_threads" | "objects"
+ *                 | "drain_us" | "min_rto_us" | "seed" ) number ";" ;
+ *   sweep-prop  = "interfaces" ident { ident } ";"
+ *               | "sizes" number { number } ";"
+ *               | ( "queues" | "window_us" ) number ";" ;
+ *
+ * All diagnostics — lexical, syntactic, and semantic (duplicate host
+ * names, dangling link endpoints, unknown interface families,
+ * out-of-range rates) — are thrown as ScenarioError with the
+ * `file:line:col: message` shape.
+ */
+
+#ifndef CCN_SCENARIO_PARSER_HH
+#define CCN_SCENARIO_PARSER_HH
+
+#include <string>
+
+#include "scenario/ast.hh"
+#include "scenario/lexer.hh"
+
+namespace ccn::scenario {
+
+/** Parse scenario source text. @p file names it in diagnostics. */
+ScenarioSpec parseScenario(const std::string &file,
+                           const std::string &source);
+
+/** Read and parse a .ccn file. Throws ScenarioError (including on
+ *  an unreadable path, reported at line 1, col 1). */
+ScenarioSpec loadScenario(const std::string &path);
+
+} // namespace ccn::scenario
+
+#endif // CCN_SCENARIO_PARSER_HH

@@ -181,6 +181,13 @@ class JsonReport
         return path;
     }
 
+    /** Sections added so far, in insertion order. */
+    const std::vector<std::pair<std::string, Table>> &
+    sections() const
+    {
+        return sections_;
+    }
+
   private:
     std::string name_;
     std::vector<std::pair<std::string, Table>> sections_;

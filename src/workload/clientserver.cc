@@ -82,6 +82,10 @@ clientTxTask(sim::Simulator &sim, mem::CoherentSystem &m,
             continue;
         }
         st->sent++;
+        if (cfg.onRequest)
+            cfg.onRequest(sim.now(), get,
+                          static_cast<std::uint32_t>(key),
+                          cfg.requestBytes);
     }
     co_return;
 }
@@ -208,6 +212,11 @@ reliableClientTask(sim::Simulator &sim, transport::Endpoint &ep,
         if (!co_await conn->send(cfg.requestBytes, user_data, 0))
             break; // Connection errored out.
         st->sent++;
+        if (cfg.onRequest)
+            cfg.onRequest(sim.now(), get,
+                          static_cast<std::uint32_t>(key &
+                                                     0xffffffffULL),
+                          cfg.requestBytes);
     }
     co_return;
 }

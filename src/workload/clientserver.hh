@@ -43,6 +43,15 @@ struct ClientServerConfig
     /// Transport tuning for the reliable variant (ignored by the raw
     /// datagram harness).
     transport::TransportConfig tp;
+
+    /// Invoked once per request the client successfully submits (raw:
+    /// accepted by txBurst; reliable: accepted by send()) with the
+    /// submit tick, GET/PUT, key, and request payload bytes. The
+    /// scenario subsystem uses this to capture replayable traces;
+    /// leave unset for no per-request overhead.
+    std::function<void(sim::Tick at, bool get, std::uint32_t key,
+                       std::uint32_t bytes)>
+        onRequest;
 };
 
 /** Result of one client-server measurement. */

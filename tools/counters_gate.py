@@ -125,10 +125,15 @@ def counters_of(sections: dict, section: str, path: str):
 
 
 def check_invariants(c: dict, max_reads_per_pkt: float,
-                     failures: list) -> None:
+                     failures: list, lossy: bool = False) -> None:
     rtx = c.get("transport.retransmits", 0.0)
     frtx = c.get("transport.fast_retransmits", 0.0)
-    if rtx + frtx > 0:
+    if lossy:
+        # Runs that inject wire loss / faults retransmit by design;
+        # the efficiency invariants below still apply.
+        print(f"lossy run: retransmits={rtx:.0f} "
+              f"fast_retransmits={frtx:.0f} (allowed)")
+    elif rtx + frtx > 0:
         failures.append(
             f"loss-free run retransmitted: transport.retransmits="
             f"{rtx:.0f} transport.fast_retransmits={frtx:.0f}")
@@ -165,8 +170,13 @@ def check_invariants(c: dict, max_reads_per_pkt: float,
 
 
 def check_timeseries(sections: dict, section: str,
-                     failures: list) -> None:
+                     failures: list, lossy: bool = False) -> None:
     ts_name = section.replace("counters", "timeseries", 1)
+    if lossy:
+        # Retransmit rates are expected under injected loss.
+        print(f"{ts_name}: retransmit-rate checks skipped "
+              "(lossy run)")
+        return
     sec = sections.get(ts_name)
     if sec is None:
         # Reports predating the sampler: nothing to rate-check.
@@ -245,7 +255,8 @@ def check_baseline(c: dict, kinds: dict, baseline: dict,
 
 
 def write_baseline(c: dict, kinds: dict, out_path: str,
-                   tolerance: float, section: str) -> None:
+                   tolerance: float, section: str,
+                   lossy: bool = False) -> None:
     norm_name = "ccnic.rx_delivered"
     norm = c.get(norm_name, 0.0)
     if norm <= 0:
@@ -269,8 +280,13 @@ def write_baseline(c: dict, kinds: dict, out_path: str,
         "normalize_by": norm_name,
         "tolerance": tolerance,
         "per_packet": per_pkt,
-        "zero": [z for z in BASELINE_ZERO],
+        # A lossy run retransmits and drops by design, so nothing is
+        # pinned to zero; the flag also relaxes the gate's loss-free
+        # invariants when this baseline is applied.
+        "zero": [] if lossy else [z for z in BASELINE_ZERO],
     }
+    if lossy:
+        doc["lossy"] = True
     os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -280,15 +296,19 @@ def write_baseline(c: dict, kinds: dict, out_path: str,
 
 def run_gate(report: str, baseline_path: str,
              max_reads_per_pkt: float, tolerance: float,
-             section: str = DEFAULT_SECTION) -> int:
+             section: str = DEFAULT_SECTION,
+             lossy: bool = False) -> int:
     sections = load_sections(report)
     c, kinds = counters_of(sections, section, report)
-    failures = []
-    check_invariants(c, max_reads_per_pkt, failures)
-    check_timeseries(sections, section, failures)
+    baseline = None
     if baseline_path:
         with open(baseline_path, encoding="utf-8") as f:
             baseline = json.load(f)
+        lossy = lossy or bool(baseline.get("lossy"))
+    failures = []
+    check_invariants(c, max_reads_per_pkt, failures, lossy)
+    check_timeseries(sections, section, failures, lossy)
+    if baseline is not None:
         check_baseline(c, kinds, baseline, tolerance, failures)
     if failures:
         for msg in failures:
@@ -459,6 +479,50 @@ def selftest() -> int:
                   "passed the gate", file=sys.stderr)
             return 1
 
+        # Lossy runs (chaos/fault scenarios): retransmits are by
+        # design. The plain gate must reject the report, a baseline
+        # with "lossy": true must accept it, and the efficiency
+        # invariants must still hold even then.
+        lossy_doc = _synthetic_report(signal_reads=670000)
+        rows = lossy_doc["sections"]["counters_lossfree"]["rows"]
+        for row in rows:
+            if row["counter"] == "transport.retransmits":
+                row["value"] = 148
+        lossy_doc["sections"]["timeseries_lossfree"]["rows"].append(
+            {"run": 1, "t_us": 75.0,
+             "metric": "transport.retransmits", "kind": "counter",
+             "value": 148, "delta": 148})
+        lpath = os.path.join(td, "lossy.json")
+        with open(lpath, "w", encoding="utf-8") as f:
+            json.dump(lossy_doc, f)
+        if run_gate(lpath, bl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: lossy report passed the "
+                  "loss-free gate", file=sys.stderr)
+            return 1
+        lossy_bl = {k: v for k, v in baseline.items()}
+        lossy_bl["lossy"] = True
+        lossy_bl["zero"] = []
+        lbl = os.path.join(td, "lossy_baseline.json")
+        with open(lbl, "w", encoding="utf-8") as f:
+            json.dump(lossy_bl, f)
+        if run_gate(lpath, lbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) != 0:
+            print("SELFTEST FAIL: lossy report rejected despite "
+                  "lossy baseline", file=sys.stderr)
+            return 1
+        # Efficiency invariants survive the lossy relaxation: a
+        # signal-read regression must still fail under --lossy.
+        lossy_bad = _synthetic_report(signal_reads=13400000)
+        lbad = os.path.join(td, "lossy_regressed.json")
+        with open(lbad, "w", encoding="utf-8") as f:
+            json.dump(lossy_bad, f)
+        if run_gate(lbad, lbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: signal-read regression passed "
+                  "under lossy baseline", file=sys.stderr)
+            return 1
+
     print("counters gate selftest passed")
     return 0
 
@@ -483,6 +547,13 @@ def main() -> int:
     ap.add_argument("--write-baseline", metavar="OUT",
                     help="write a fresh baseline from this report "
                          "and exit")
+    ap.add_argument("--lossy", action="store_true",
+                    help="the run injects loss/faults by design: "
+                         "allow retransmits (invariant 1 and the "
+                         "timeseries rate check are skipped). Also "
+                         "implied by a baseline with 'lossy': true; "
+                         "with --write-baseline, records the flag "
+                         "and pins nothing to zero")
     ap.add_argument("--selftest", action="store_true",
                     help="run the gate's self-checks and exit")
     args = ap.parse_args()
@@ -497,7 +568,7 @@ def main() -> int:
         sections = load_sections(args.report)
         c, kinds = counters_of(sections, section, args.report)
         write_baseline(c, kinds, args.write_baseline, args.tolerance,
-                       section)
+                       section, args.lossy)
         return 0
 
     # Section resolution: explicit flag, else the baseline's own
@@ -511,7 +582,7 @@ def main() -> int:
 
     return run_gate(args.report, args.baseline,
                     args.max_signal_reads_per_pkt, args.tolerance,
-                    section)
+                    section, args.lossy)
 
 
 if __name__ == "__main__":
