@@ -188,12 +188,27 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     cfg_.ringEntries = driver::DescRing::roundUpPow2(cfg_.ringEntries);
     // Keep NIC batches group-aligned so clears land on line boundaries.
     cfg_.nicBatch = std::max(4, (cfg_.nicBatch / 4) * 4);
+    // Clamp the publish-batch target well under the ring size so a
+    // staged (unpublished, hence not `ready`) region can never be
+    // lapped and overwritten by the producer's own full-ring check.
+    if (cfg_.batch.enabled()) {
+        const std::uint32_t cap = std::max(1u, cfg_.ringEntries / 4);
+        cfg_.batch.size =
+            std::min(std::max(1u, cfg_.batch.size), cap);
+        cfg_.batch.maxSize =
+            std::min(std::max(cfg_.batch.size, cfg_.batch.maxSize),
+                     cap);
+    }
     pool_ = std::make_unique<driver::Mempool>(mem_, cfg_.pool, rng);
     for (int q = 0; q < cfg_.numQueues; ++q) {
         queues_.push_back(std::make_unique<Queue>(
             sim_, mem_, cfg_, hostSocket_, nicSocket_));
         queues_.back()->sigReads =
             &signalReadsQ_.at(static_cast<std::uint64_t>(q));
+        queues_.back()->txPending.setPolicy(cfg_.batch);
+        queues_.back()->rxDevPending.setPolicy(cfg_.batch);
+        queues_.back()->batchOcc =
+            &batchOccupancy_.at(static_cast<std::uint64_t>(q));
     }
     // Heartbeat lines are writer-homed like the rings (§3.3): each
     // side bumps its own line and polls the other's.
@@ -210,6 +225,8 @@ CcNic::start()
     for (int q = 0; q < cfg_.numQueues; ++q) {
         sim_.spawn(nicTxTask(q));
         sim_.spawn(nicRxTask(q));
+        if (cfg_.batch.enabled())
+            sim_.spawn(txFlushTimerTask(q));
     }
     sim_.spawn(heartbeatTask());
 }
@@ -308,6 +325,9 @@ CcNic::health(int q) const
     h.txCompleted = queue.txCompletedTotal;
     h.rxDelivered = queue.rxDeliveredTotal;
     h.txOutstanding = queue.txProd - queue.txCons;
+    // Staged-but-unflushed descriptors are invisible to the device;
+    // the Watchdog must not read a coalescing delay as a ring stall.
+    h.txHeldInBatch = queue.txPending.size();
     return h;
 }
 
@@ -364,6 +384,15 @@ CcNic::reset()
         };
         sweep(queue.tx);
         sweep(queue.rx);
+        // Staged-but-unflushed publications never reached a slot, so
+        // the ring sweep cannot see their buffers: reclaim them here.
+        for (const auto &e : queue.txPending.take(true)) {
+            if (e.buf)
+                uniq.insert(e.buf);
+        }
+        (void)queue.rxDevPending.take(true);
+        queue.tx.clearAllSeals();
+        queue.rx.clearAllSeals();
         for (PacketBuf *&b : queue.txShadow) {
             if (b)
                 uniq.insert(b);
@@ -488,7 +517,12 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
                 queue.txFreeScan++;
             }
         } else {
-            while (queue.txFreeScan != queue.txProd &&
+            // Staged-but-unflushed slots are not `ready` either, but
+            // they are pending work, not completions: stop the reap
+            // scan before the staged region.
+            const std::uint32_t reap_limit =
+                queue.txProd - queue.txPending.size();
+            while (queue.txFreeScan != reap_limit &&
                    !queue.tx.slot(queue.txFreeScan).ready) {
                 const Addr l = queue.tx.lineOf(queue.txFreeScan);
                 if (l != last_line) {
@@ -562,9 +596,17 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         obs::SpanTable::global().maybeStart(p.buf->span, sim_.now());
 
     // Grouped layout: a partial final group is zero-padded and the
-    // producer skips to the next line (§3.2).
+    // producer skips to the next line, sealing it so the consumer
+    // knows the blanks are permanent (§3.2). Under batched
+    // publication the group instead stays open — the next flush
+    // continues mid-group, so skipping (and sealing) would waste
+    // slots and strand the coalesced line.
+    constexpr std::uint32_t kNoSeal = ~0u;
+    std::uint32_t seal_idx = kNoSeal;
     if (cfg_.layout == RingLayout::Grouped &&
-        cfg_.signal == SignalMode::Inline && (idx % per_line) != 0) {
+        cfg_.signal == SignalMode::Inline && (idx % per_line) != 0 &&
+        !cfg_.batch.enabled()) {
+        seal_idx = idx;
         idx = queue.tx.groupBase(idx) + per_line;
     }
 
@@ -575,6 +617,17 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
     // descriptor stores) become visible at store completion.
     queue.txProd = idx;
     queue.txSubmittedTotal += pending.size();
+    if (cfg_.batch.enabled()) {
+        // Software write-combining: retire the descriptors into the
+        // host-side staging batch — no coherence traffic, no signal —
+        // and publish everything at once when the batch fills (or the
+        // flush timer fires on a partial batch).
+        for (const Pending &p : pending)
+            queue.txPending.stage(p.idx, p.buf, sim_.now());
+        if (queue.txPending.full())
+            co_await flushTxBatch(q, /*timeout_flush=*/false);
+        co_return static_cast<int>(pending.size());
+    }
     {
         Queue *qp = &queue;
         const bool shadow = !cfg_.nicBufferMgmt;
@@ -582,7 +635,12 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         const std::uint64_t tail_val = queue.txProd;
         if (reg)
             spans.push_back({queue.txTail.addr(), 8});
-        auto publish = [qp, shadow, reg, tail_val, pending,
+        // Unbatched publication is a degenerate batch of one burst:
+        // the flush begins now.
+        const Tick flush_now = sim_.now();
+        for (const Pending &p : pending)
+            p.buf->span.stamp(obs::SpanStage::BatchFlush, flush_now);
+        auto publish = [qp, shadow, reg, tail_val, seal_idx, pending,
                         simp = &sim_]() {
             for (const Pending &p : pending) {
                 auto &slot = qp->tx.slot(p.idx);
@@ -597,6 +655,8 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
                 if (shadow)
                     qp->txShadow[p.idx & qp->tx.mask()] = p.buf;
             }
+            if (seal_idx != kNoSeal)
+                qp->tx.sealLine(seal_idx);
             if (reg)
                 qp->txTail.publish(tail_val);
         };
@@ -619,6 +679,99 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
         }
     }
     co_return static_cast<int>(pending.size());
+}
+
+sim::Coro<void>
+CcNic::flushTxBatch(int q, bool timeout_flush)
+{
+    Queue &queue = *queues_[q];
+    if (queue.txPending.empty())
+        co_return;
+    // Work still outstanding behind this batch drives adaptive
+    // growth: a backlogged device benefits from larger, rarer signal
+    // writes.
+    const std::uint32_t backlog = queue.txProd - queue.txCons;
+    auto entries = queue.txPending.take(timeout_flush, backlog);
+
+    batchFlushTotal_++;
+    batchFlushes_.at(timeout_flush ? "timeout" : "full")++;
+    if (queue.batchOcc)
+        *queue.batchOcc += entries.size();
+
+    std::vector<mem::CoherentSystem::Span> spans;
+    Addr last_line = ~Addr{0};
+    for (const auto &e : entries) {
+        const Addr l = queue.tx.lineOf(e.idx);
+        if (l != last_line) {
+            spans.push_back({l, mem::kLineBytes});
+            last_line = l;
+        }
+    }
+    const std::uint32_t desc_lines =
+        static_cast<std::uint32_t>(spans.size());
+    const std::uint32_t last_idx = entries.back().idx;
+    const bool shadow = !cfg_.nicBufferMgmt;
+    const bool reg = cfg_.signal == SignalMode::Register;
+    const std::uint64_t tail_val = last_idx + 1;
+    if (reg)
+        spans.push_back({queue.txTail.addr(), 8});
+
+    // One coalesced publication: every staged descriptor, its ready
+    // flag, and the signal (line store or tail register) become
+    // visible as a single posted-store group — one signal write for
+    // the whole batch instead of one per burst.
+    const Tick flush_now = sim_.now();
+    for (const auto &e : entries)
+        e.buf->span.stamp(obs::SpanStage::BatchFlush, flush_now);
+    Queue *qp = &queue;
+    auto publish = [qp, shadow, reg, tail_val,
+                    entries = std::move(entries), simp = &sim_]() {
+        for (const auto &e : entries) {
+            auto &slot = qp->tx.slot(e.idx);
+            slot.buf = e.buf;
+            slot.len = e.buf->wireLen();
+            slot.ready = true;
+            e.buf->span.stamp(obs::SpanStage::DescPublish,
+                              simp->now());
+            if (shadow)
+                qp->txShadow[e.idx & qp->tx.mask()] = e.buf;
+        }
+        if (reg)
+            qp->txTail.publish(tail_val);
+    };
+    co_await mem_.postMulti(queue.hostAgent, spans,
+                            std::move(publish));
+    noteSignalWrite(reg ? queue.txTail.addr()
+                        : queue.tx.lineOf(last_idx));
+    if (cfg_.signal == SignalMode::Inline && cfg_.nicBufferMgmt) {
+        // Same migratory grant-ahead as the unbatched path (§3.2).
+        for (std::uint32_t k = 0; k < desc_lines; ++k) {
+            mem_.touchLine(queue.hostAgent,
+                           queue.tx.lineOf(queue.txProd +
+                                           k * queue.tx.perLine()));
+        }
+    }
+    co_return;
+}
+
+sim::Task
+CcNic::txFlushTimerTask(int q)
+{
+    Queue &queue = *queues_[q];
+    // Half-timeout polling bounds a partial batch's hold time to
+    // 1.5x flushTimeout without a per-stage timer wheel.
+    const Tick period = std::max<Tick>(1, cfg_.batch.flushTimeout / 2);
+    for (;;) {
+        co_await sim_.delay(period);
+        // Down/quiescing device: staged buffers are reclaimed by
+        // reset(); never publish into a dead ring.
+        if (devState_ != DevState::Running)
+            continue;
+        if (!queue.txPending.empty() &&
+            queue.txPending.timedOut(sim_.now())) {
+            co_await flushTxBatch(q, /*timeout_flush=*/true);
+        }
+    }
 }
 
 sim::Coro<int>
@@ -685,8 +838,13 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
                 }
                 if (!slot.ready &&
                     cfg_.layout == RingLayout::Grouped &&
-                    (idx % per_line) != 0) {
-                    // Blank mid-group: producer skipped the rest.
+                    (idx % per_line) != 0 &&
+                    queue.rx.lineSealed(idx)) {
+                    // Blank mid-group on a sealed line: the producer
+                    // abandoned the rest of this group. An open
+                    // (unsealed) group may still be continued by a
+                    // later batched flush, so stop there instead —
+                    // skipping would leap over live descriptors.
                     idx = queue.rx.groupBase(idx) + per_line;
                     continue;
                 }
@@ -719,6 +877,8 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
                         slot.ready = false;
                         slot.meta = kRxEmpty;
                         slot.buf = nullptr;
+                        // Recycled lines start the next lap open.
+                        qp->rx.clearSeal(i);
                     }
                 };
                 co_await mem_.postMulti(queue.hostAgent, clear_spans,
@@ -926,7 +1086,12 @@ CcNic::nicTxTask(int q)
                 }
                 if (!slot.ready &&
                     cfg_.layout == RingLayout::Grouped &&
-                    (idx % per_line) != 0) {
+                    (idx % per_line) != 0 &&
+                    queue.tx.lineSealed(idx)) {
+                    // Sealed line: the host zero-padded this group.
+                    // An open group is a legal batched-publication
+                    // state — wait for the flush instead of leaping
+                    // over the descriptors it will write.
                     idx = queue.tx.groupBase(idx) + per_line;
                     continue;
                 }
@@ -1014,6 +1179,7 @@ CcNic::nicTxTask(int q)
                         slot.ready = false;
                         slot.meta = kRxEmpty;
                         slot.buf = nullptr;
+                        qp->tx.clearSeal(i);
                     }
                 };
                 co_await mem_.postMulti(queue.nicAgent, clear_spans,
@@ -1209,9 +1375,15 @@ CcNic::nicRxTask(int q)
                 placed.emplace_back(idx, i);
                 idx++;
             }
+            // Partial group: zero-pad and seal when publishing
+            // immediately; leave the group open under batching so the
+            // next gather's flush continues mid-group.
+            constexpr std::uint32_t kNoSeal = ~0u;
+            std::uint32_t seal_idx = kNoSeal;
             if (cfg_.layout == RingLayout::Grouped &&
                 cfg_.signal == SignalMode::Inline &&
-                (idx % per_line) != 0) {
+                (idx % per_line) != 0 && !cfg_.batch.enabled()) {
+                seal_idx = idx;
                 idx = queue.rx.groupBase(idx) + per_line;
             }
 
@@ -1219,14 +1391,34 @@ CcNic::nicRxTask(int q)
                 cycles((costs.perPktTx + costs.perDesc) *
                        static_cast<double>(placed.size())));
             queue.rxProd = idx;
+            if (cfg_.batch.enabled() && !placed.empty()) {
+                // The device publishes once per gathered batch (the
+                // mailbox drain already coalesces arrivals); route
+                // the flush through the shared accumulator so the
+                // adaptive target and occupancy metrics see it. A
+                // drain that emptied the wire below target is an
+                // idle flush; a full gather is a target-size flush.
+                for (const auto &[slot_idx, pkt_idx] : placed) {
+                    queue.rxDevPending.stage(slot_idx, out[pkt_idx],
+                                             sim_.now());
+                }
+                const bool idle = !queue.rxDevPending.full();
+                (void)queue.rxDevPending.take(
+                    idle, static_cast<std::uint32_t>(
+                              queue.rxInput.size()));
+                batchFlushTotal_++;
+                batchFlushes_.at(idle ? "idle" : "full")++;
+                if (queue.batchOcc)
+                    *queue.batchOcc += placed.size();
+            }
             {
                 Queue *qp = &queue;
                 const bool reg = cfg_.signal == SignalMode::Register;
                 const std::uint64_t tail_val = queue.rxProd;
                 if (reg)
                     spans.push_back({queue.rxTail.addr(), 8});
-                auto publish = [qp, reg, tail_val, placed, out, batch,
-                                simp = &sim_]() {
+                auto publish = [qp, reg, tail_val, seal_idx, placed,
+                                out, batch, simp = &sim_]() {
                     for (const auto &[slot_idx, pkt_idx] : placed) {
                         PacketBuf *b = out[pkt_idx];
                         b->len = batch[pkt_idx].len;
@@ -1247,6 +1439,8 @@ CcNic::nicRxTask(int q)
                         slot.len = b->len;
                         slot.ready = true;
                     }
+                    if (seal_idx != kNoSeal)
+                        qp->rx.sealLine(seal_idx);
                     if (reg)
                         qp->rxTail.publish(tail_val);
                 };

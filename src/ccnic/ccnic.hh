@@ -108,6 +108,14 @@ struct CcNicConfig
 
     int nicBatch = 32;        ///< NIC-side processing burst.
 
+    /// Batched signal publication (Fig 16): host TX descriptors are
+    /// staged in software (write-combining, no coherence traffic) and
+    /// published — contents, ready flags, and signal — as one posted
+    /// store group when the batch reaches its target size or the
+    /// flush timeout expires. Off by default: every burst publishes
+    /// immediately, as in the paper's base configuration.
+    driver::BatchPolicy batch;
+
     /// NIC engine pipelines descriptor/payload fetches across the
     /// whole batch (CC-NIC). The unoptimized baseline emulates the
     /// E810's per-descriptor hardware handling, serializing each
@@ -250,6 +258,9 @@ class CcNic : public driver::NicInterface
     /** Ring-signal publishes (register writes / inline flag stores). */
     std::uint64_t signalWrites() const { return signalWrites_; }
 
+    /** Coalesced publish flushes performed (host TX + device RX). */
+    std::uint64_t batchFlushes() const { return batchFlushTotal_; }
+
   private:
     struct Queue
     {
@@ -295,10 +306,21 @@ class CcNic : public driver::NicInterface
         std::uint64_t txCompletedTotal = 0;
         std::uint64_t rxDeliveredTotal = 0;
 
+        /// Host-side TX publish staging (batched signal publication);
+        /// empty whenever cfg.batch is off.
+        driver::PublishBatch txPending;
+        /// Device-side RX publication accounting: tracks the adaptive
+        /// target and flush occupancy for the NIC's already-batched
+        /// per-gather publications.
+        driver::PublishBatch rxDevPending;
+
         /// Per-queue signal-read child ("ccnic.signal_reads{queue=N}"),
         /// resolved once at construction so the hot path pays a
         /// pointer chase, not a label lookup.
         obs::Counter *sigReads = nullptr;
+        /// Per-queue batch-occupancy child ("ccnic.batch_occupancy"):
+        /// descriptors flushed; divide by flushes for mean occupancy.
+        obs::Counter *batchOcc = nullptr;
     };
 
     /** Device lifecycle state. */
@@ -322,6 +344,16 @@ class CcNic : public driver::NicInterface
     sim::Task nicTxTask(int q);
     sim::Task nicRxTask(int q);
     sim::Task heartbeatTask();
+
+    /// @name Batched signal publication (Fig 16).
+    /// @{
+    /** Publish everything staged on queue @p q as one posted-store
+     *  group (descriptor contents + ready flags + signal). */
+    sim::Coro<void> flushTxBatch(int q, bool timeout_flush);
+    /** Per-queue timer bounding how long a partial batch may hold a
+     *  packet back (checks at flushTimeout/2 granularity). */
+    sim::Task txFlushTimerTask(int q);
+    /// @}
 
     /// @name Signal telemetry: counts ring-signal reads/publishes and
     /// records tracepoints when tracing is enabled.
@@ -373,6 +405,10 @@ class CcNic : public driver::NicInterface
     obs::Counter heartbeats_{"ccnic.heartbeats"};
     obs::Counter resets_{"ccnic.resets"};
     obs::Counter resetReclaimed_{"ccnic.reset_reclaimed_bufs"};
+    obs::LabeledCounter batchFlushes_{"ccnic.batch_flushes", "reason"};
+    obs::LabeledCounter batchOccupancy_{"ccnic.batch_occupancy",
+                                        "queue"};
+    std::uint64_t batchFlushTotal_ = 0;
     bool started_ = false;
 
     // Lifecycle state. Heartbeat lines follow the same single-line

@@ -37,8 +37,11 @@ struct CpuCosts
 
 /**
  * Host-sampled per-queue progress counters, consumed by the driver
- * Watchdog: a queue whose txCompleted stops advancing while
- * txOutstanding is nonzero is stalled.
+ * Watchdog: a queue whose txCompleted stops advancing while more
+ * than txHeldInBatch descriptors are outstanding is stalled.
+ * Descriptors the host itself is holding back for a coalesced
+ * publish (batching) are reported in txHeldInBatch so a flush-timer
+ * delay is not mistaken for a dead device.
  */
 struct QueueHealth
 {
@@ -46,6 +49,9 @@ struct QueueHealth
     std::uint64_t txCompleted = 0;   ///< Descriptors ever consumed.
     std::uint64_t rxDelivered = 0;   ///< Packets ever handed to host.
     std::uint32_t txOutstanding = 0; ///< Submitted minus completed.
+    std::uint32_t txHeldInBatch = 0; ///< Outstanding but unpublished:
+                                     ///< staged in a host-side batch
+                                     ///< the device cannot yet see.
 };
 
 /**

@@ -19,11 +19,14 @@
 #ifndef CCN_DRIVER_RING_HH
 #define CCN_DRIVER_RING_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "driver/packet.hh"
 #include "mem/coherence.hh"
+#include "sim/time.hh"
 
 namespace ccn::driver {
 
@@ -40,6 +43,123 @@ enum class SignalMode
 {
     Inline,   ///< Ready flag inlined in the descriptor line.
     Register, ///< Separate head/tail register lines (PCIe-style).
+};
+
+/** Runtime batching mode for signal publication (Fig 16). */
+enum class BatchMode
+{
+    Off,      ///< Publish (and signal) every descriptor immediately.
+    Fixed,    ///< Accumulate a fixed B descriptors per publish.
+    Adaptive, ///< Grow B under backlog, decay it when flushes go
+              ///< sparse (timeout flushes below half occupancy).
+};
+
+/**
+ * Batched signal publication policy, shared by all three interface
+ * families: CcNic batches descriptor+signal stores per ring line,
+ * PcieNic coalesces MMIO doorbells, PioNic coalesces slot credit
+ * returns. A flush timeout bounds how long a partial batch may hold
+ * a packet back, so a lone packet is never stranded.
+ */
+struct BatchPolicy
+{
+    BatchMode mode = BatchMode::Off;
+    std::uint32_t size = 4;     ///< Target B (Fixed) / starting B.
+    std::uint32_t maxSize = 32; ///< Adaptive growth ceiling.
+    sim::Tick flushTimeout = sim::fromUs(1.0);
+
+    bool enabled() const { return mode != BatchMode::Off; }
+};
+
+/**
+ * Accumulator for one producer position's pending publications. The
+ * owner stages descriptors (pure bookkeeping: no simulated memory
+ * traffic until flush), then takes the whole batch when it reaches
+ * the target size, when the flush timeout for the oldest staged
+ * entry expires, or when the producer goes idle. Under
+ * BatchMode::Adaptive the target grows (x2 up to maxSize) on a full
+ * flush with more work backlogged and decays (/2 down to 1) on a
+ * timeout flush that caught the batch under half full.
+ */
+class PublishBatch
+{
+  public:
+    struct Entry
+    {
+        std::uint32_t idx = 0;
+        PacketBuf *buf = nullptr;
+        sim::Tick stagedAt = 0;
+    };
+
+    explicit PublishBatch(const BatchPolicy &policy = {})
+        : policy_(policy), target_(std::max(1u, policy.size))
+    {}
+
+    void
+    setPolicy(const BatchPolicy &policy)
+    {
+        policy_ = policy;
+        target_ = std::max(1u, policy.size);
+    }
+
+    const BatchPolicy &policy() const { return policy_; }
+
+    /** Stage one descriptor for a later flush. */
+    void
+    stage(std::uint32_t idx, PacketBuf *buf, sim::Tick now)
+    {
+        if (entries_.empty())
+            oldest_ = now;
+        entries_.push_back({idx, buf, now});
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+    std::uint32_t target() const { return target_; }
+    bool full() const { return size() >= target_; }
+
+    /** Oldest staged entry has waited past the flush timeout. */
+    bool
+    timedOut(sim::Tick now) const
+    {
+        return !entries_.empty() &&
+               now - oldest_ >= policy_.flushTimeout;
+    }
+
+    /** Stage time of the oldest pending entry (0 when empty). */
+    sim::Tick oldestStagedAt() const
+    {
+        return entries_.empty() ? 0 : oldest_;
+    }
+
+    /**
+     * Drain the staged batch and update the adaptive target.
+     * @p timeout_flush: the flush was forced by the timer (or idle),
+     * not by reaching the target. @p backlog: producer work still
+     * waiting behind this batch (drives adaptive growth).
+     */
+    std::vector<Entry>
+    take(bool timeout_flush, std::uint32_t backlog = 0)
+    {
+        if (policy_.mode == BatchMode::Adaptive) {
+            if (!timeout_flush && backlog > target_) {
+                target_ = std::min(target_ * 2,
+                                   std::max(1u, policy_.maxSize));
+            } else if (timeout_flush && size() < target_ / 2) {
+                target_ = std::max(target_ / 2, 1u);
+            }
+        }
+        return std::exchange(entries_, {});
+    }
+
+  private:
+    BatchPolicy policy_;
+    std::uint32_t target_ = 1;
+    sim::Tick oldest_ = 0;
+    std::vector<Entry> entries_;
 };
 
 /**
@@ -86,7 +206,8 @@ class DescRing
     DescRing(mem::CoherentSystem &mem_system, int home_socket,
              std::uint32_t entries, RingLayout layout)
         : layout_(layout), entries_(roundUpPow2(entries)),
-          mask_(roundUpPow2(entries) - 1), slots_(roundUpPow2(entries))
+          mask_(roundUpPow2(entries) - 1), slots_(roundUpPow2(entries)),
+          sealed_(roundUpPow2(entries), 0)
     {
         entries = entries_;
         const std::uint32_t bytes_per_entry =
@@ -144,12 +265,46 @@ class DescRing
         return idx & ~(perLine() - 1);
     }
 
+    /// @name Sealed groups (Grouped layout).
+    ///
+    /// A producer that abandons the tail of a group (skipping to the
+    /// next line boundary) seals the line: blanks after the seal are
+    /// permanent, and a consumer finding one may skip to the next
+    /// group. Under batched publication a partially filled group is
+    /// instead a *legal published state* — the line stays unsealed
+    /// and a later flush continues mid-group — so a consumer must
+    /// only skip blanks on sealed lines, never on open ones
+    /// (otherwise it leaps over descriptors the next flush writes).
+    /// Seals are cleared when the consumer's clear publication
+    /// recycles the line, and by reset().
+    /// @{
+    void sealLine(std::uint32_t idx) { sealedAt(idx) = 1; }
+    void clearSeal(std::uint32_t idx) { sealedAt(idx) = 0; }
+    bool
+    lineSealed(std::uint32_t idx) const
+    {
+        return sealed_[(idx & mask_) / perLine()] != 0;
+    }
+    void
+    clearAllSeals()
+    {
+        std::fill(sealed_.begin(), sealed_.end(), 0);
+    }
+    /// @}
+
   private:
+    std::uint8_t &
+    sealedAt(std::uint32_t idx)
+    {
+        return sealed_[(idx & mask_) / perLine()];
+    }
+
     RingLayout layout_;
     std::uint32_t entries_;
     std::uint32_t mask_;
     mem::Addr base_ = 0;
     std::vector<Slot> slots_;
+    std::vector<std::uint8_t> sealed_;
 };
 
 /**

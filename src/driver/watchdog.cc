@@ -79,7 +79,10 @@ Watchdog::monitorTask()
         for (int q = 0; q < nic_.numQueues(); ++q) {
             const QueueHealth h = nic_.health(q);
             auto qi = static_cast<std::size_t>(q);
-            if (h.txOutstanding > 0 &&
+            // Descriptors held back in a host-side publish batch are
+            // outstanding but invisible to the device; only work the
+            // device can see and still fails to consume is a stall.
+            if (h.txOutstanding > h.txHeldInBatch &&
                 h.txCompleted == lastCompleted_[qi]) {
                 if (++stalledChecks_[qi] >= cfg_.stallChecks) {
                     stats_.ringStalls++;

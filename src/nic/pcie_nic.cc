@@ -125,11 +125,23 @@ PcieNic::PcieNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
         4096, static_cast<std::uint32_t>(num_queues) * per_q);
     pool_cfg.stripes = num_queues;
     pool_ = std::make_unique<driver::Mempool>(mem_, pool_cfg, rng);
+    // Clamp the coalescing target well under the ring so deferred
+    // doorbells can never cover more work than the ring holds.
+    if (params_.batch.enabled()) {
+        const std::uint32_t cap = kRingEntries / 4;
+        params_.batch.size =
+            std::min(std::max(1u, params_.batch.size), cap);
+        params_.batch.maxSize = std::min(
+            std::max(params_.batch.size, params_.batch.maxSize), cap);
+    }
     for (int q = 0; q < num_queues; ++q) {
         queues_.push_back(std::make_unique<Queue>(sim_, mem_, params_,
                                                   host_socket, link_));
         queues_.back()->doorbellsQ =
             &doorbellsQ_.at(static_cast<std::uint64_t>(q));
+        queues_.back()->dbPending.setPolicy(params_.batch);
+        queues_.back()->batchOcc =
+            &batchOccupancy_.at(static_cast<std::uint64_t>(q));
     }
 }
 
@@ -141,6 +153,8 @@ PcieNic::start()
     for (int q = 0; q < numQueues(); ++q) {
         sim_.spawn(devTxEngine(q));
         sim_.spawn(devRxEngine(q));
+        if (params_.batch.enabled())
+            sim_.spawn(txDoorbellTimerTask(q));
     }
     sim_.spawn(heartbeatTask());
 }
@@ -182,6 +196,10 @@ PcieNic::health(int q) const
     h.txCompleted = queue.txCompletedTotal;
     h.rxDelivered = queue.rxDeliveredTotal;
     h.txOutstanding = queue.txProd - queue.devTxCons;
+    // Descriptors stored to the ring but whose doorbell is still being
+    // coalesced: the device cannot see them, so the watchdog must not
+    // count them as stalled work.
+    h.txHeldInBatch = queue.txProd - queue.dbFlushedTail;
     return h;
 }
 
@@ -248,6 +266,10 @@ PcieNic::reset()
             (void)co_await queue.doorbells.get();
         while (!queue.rxInput.empty())
             (void)co_await queue.rxInput.get();
+        // Coalesced doorbells reference ring indices that no longer
+        // exist; drop them (buffers were reclaimed via txShadow above).
+        (void)queue.dbPending.take(/*timeout_flush=*/true);
+        queue.dbFlushedTail = 0;
         queue.txProd = queue.txFreeScan = 0;
         queue.rxCons = queue.rxPostProd = 0;
         queue.devTxCons = queue.devTxTail = 0;
@@ -394,6 +416,14 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
         obs::SpanTable::global().maybeStart(p.buf->span, sim_.now());
     co_await sim_.delay(mem_.config().cycles(
         (costs_.perPktTx + costs_.perDesc) * count));
+    // Descriptor stores always land now; only the doorbell may be
+    // coalesced. BatchFlush therefore stamps at store initiation, and
+    // any doorbell hold shows up in DescPublish -> NicObserve.
+    {
+        const Tick flush_now = sim_.now();
+        for (const Pending &p : pending)
+            p.buf->span.stamp(obs::SpanStage::BatchFlush, flush_now);
+    }
     {
         Queue *qp = &queue;
         auto publish = [qp, pending, simp = &sim_]() {
@@ -413,9 +443,20 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
     queue.txProd += count;
     queue.txSubmittedTotal += static_cast<std::uint64_t>(count);
 
+    if (params_.batch.enabled()) {
+        // Coalesced path: defer the MMIO tail update until enough
+        // descriptors accumulate (or the flush timer fires).
+        for (const Pending &p : pending)
+            queue.dbPending.stage(p.idx, nullptr, sim_.now());
+        if (queue.dbPending.full())
+            co_await flushTxDoorbell(q, /*timeout_flush=*/false);
+        co_return count;
+    }
+
     // Doorbell. CX6-style devices inline the first descriptors into a
     // WC doorbell write; E810 uses a plain UC tail update.
     const std::uint32_t tail = queue.txProd;
+    queue.dbFlushedTail = tail;
     doorbells_++;
     (*queue.doorbellsQ)++;
     obs::tracepoint(obs::EventKind::RingDoorbell, "pcie.tx_tail",
@@ -430,6 +471,55 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
     sim_.scheduleCallback(sim_.now() + link_.doorbellTransit(),
                           [qp, tail] { qp->doorbells.put(tail); });
     co_return count;
+}
+
+sim::Coro<void>
+PcieNic::flushTxDoorbell(int q, bool timeout_flush)
+{
+    Queue &queue = *queues_[q];
+    const std::uint32_t backlog = queue.txProd - queue.devTxCons;
+    const auto entries = queue.dbPending.take(timeout_flush, backlog);
+    if (entries.empty())
+        co_return;
+    batchFlushTotal_++;
+    batchFlushes_.at(timeout_flush ? "timeout" : "full")++;
+    if (queue.batchOcc)
+        *queue.batchOcc += entries.size();
+
+    // One MMIO write announces every pending descriptor: the tail
+    // moves past the newest staged index.
+    const std::uint32_t tail = entries.back().idx + 1;
+    queue.dbFlushedTail = tail;
+    doorbells_++;
+    (*queue.doorbellsQ)++;
+    obs::tracepoint(obs::EventKind::RingDoorbell, "pcie.tx_tail",
+                    sim_.now(), tail);
+    if (params_.inlineDoorbellDesc) {
+        co_await queue.wc.store(0xD0000000ULL + 64 * q, 64);
+        co_await queue.wc.fence();
+    } else {
+        co_await link_.mmioUcWrite(4);
+    }
+    Queue *qp = &queue;
+    sim_.scheduleCallback(sim_.now() + link_.doorbellTransit(),
+                          [qp, tail] { qp->doorbells.put(tail); });
+    co_return;
+}
+
+sim::Task
+PcieNic::txDoorbellTimerTask(int q)
+{
+    Queue &queue = *queues_[q];
+    const Tick period =
+        std::max<Tick>(1, params_.batch.flushTimeout / 2);
+    for (;;) {
+        co_await sim_.delay(period);
+        if (wedged_ || devState_ != DevState::Running)
+            continue; // reset() drops the stale pending batch.
+        if (!queue.dbPending.empty() &&
+            queue.dbPending.timedOut(sim_.now()))
+            co_await flushTxDoorbell(q, /*timeout_flush=*/true);
+    }
 }
 
 sim::Coro<int>

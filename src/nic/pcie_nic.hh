@@ -61,6 +61,13 @@ struct NicParams
     /// Flat device-reset latency (function-level reset).
     sim::Tick resetLat = sim::fromUs(5.0);
 
+    /// Doorbell coalescing (Fig 16): descriptor stores still land per
+    /// burst, but the MMIO tail doorbell is deferred until B
+    /// descriptors are pending (or the flush timeout expires), so a
+    /// reaped batch costs one doorbell instead of one per burst. Off
+    /// by default.
+    driver::BatchPolicy batch;
+
     /// PCIe endpoint timing.
     pcie::PcieParams pcie;
 };
@@ -159,6 +166,9 @@ class PcieNic : public driver::NicInterface
     /** Packets that have crossed device TX processing. */
     std::uint64_t txCount() const { return txCount_; }
 
+    /** Coalesced doorbell flushes performed. */
+    std::uint64_t batchFlushes() const { return batchFlushTotal_; }
+
   private:
     struct Queue
     {
@@ -178,6 +188,12 @@ class PcieNic : public driver::NicInterface
         std::uint32_t rxCons = 0;
         std::uint32_t rxPostProd = 0;
         std::vector<driver::PacketBuf *> txShadow;
+
+        /// Doorbell coalescing: descriptors published (stored) but not
+        /// yet announced to the device, and the tail value of the last
+        /// doorbell actually rung.
+        driver::PublishBatch dbPending;
+        std::uint32_t dbFlushedTail = 0;
 
         // Device positions and state.
         std::uint32_t devTxCons = 0;
@@ -201,6 +217,8 @@ class PcieNic : public driver::NicInterface
 
         /// Per-queue doorbell child of pcie_nic.doorbells{queue=}.
         obs::Counter *doorbellsQ = nullptr;
+        /// Per-queue batch-occupancy child (descriptors per doorbell).
+        obs::Counter *batchOcc = nullptr;
     };
 
     /** Device lifecycle state. */
@@ -225,6 +243,14 @@ class PcieNic : public driver::NicInterface
     sim::Task devRxEngine(int q);
     sim::Task heartbeatTask();
 
+    /// @name Doorbell coalescing (Fig 16).
+    /// @{
+    /** Ring one MMIO doorbell covering every pending descriptor. */
+    sim::Coro<void> flushTxDoorbell(int q, bool timeout_flush);
+    /** Bounds how long a partial batch may defer its doorbell. */
+    sim::Task txDoorbellTimerTask(int q);
+    /// @}
+
     void deliverTx(int q, const WirePacket &pkt);
 
     sim::Simulator &sim_;
@@ -245,6 +271,11 @@ class PcieNic : public driver::NicInterface
     obs::Counter txCount_{"pcie_nic.tx_packets"};
     obs::Counter resets_{"pcie_nic.resets"};
     obs::Counter resetReclaimed_{"pcie_nic.reset_reclaimed_bufs"};
+    obs::LabeledCounter batchFlushes_{"pcie_nic.batch_flushes",
+                                      "reason"};
+    obs::LabeledCounter batchOccupancy_{"pcie_nic.batch_occupancy",
+                                        "queue"};
+    std::uint64_t batchFlushTotal_ = 0;
     bool started_ = false;
 
     // Lifecycle state. The device heartbeat is a DDIO head-writeback-

@@ -13,6 +13,7 @@ spanStageName(SpanStage s)
 {
     switch (s) {
     case SpanStage::HostEnqueue: return "host_enqueue";
+    case SpanStage::BatchFlush: return "batch_flush";
     case SpanStage::DescPublish: return "desc_publish";
     case SpanStage::NicObserve: return "nic_observe";
     case SpanStage::WireTx: return "wire_tx";
@@ -28,6 +29,7 @@ spanStageTraceName(SpanStage s)
 {
     switch (s) {
     case SpanStage::HostEnqueue: return "span.host_enqueue";
+    case SpanStage::BatchFlush: return "span.batch_flush";
     case SpanStage::DescPublish: return "span.desc_publish";
     case SpanStage::NicObserve: return "span.nic_observe";
     case SpanStage::WireTx: return "span.wire_tx";

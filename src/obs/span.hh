@@ -10,6 +10,7 @@
  * collects one sim::Tick per pipeline stage:
  *
  *   host_enqueue  — host driver accepted the buffer into txBurst
+ *   batch_flush   — publish of the batch holding this packet began
  *   desc_publish  — descriptor stores became globally visible
  *   nic_observe   — NIC engine observed the signal and took the slot
  *   wire_tx       — packet handed to the wire (FCS stamped)
@@ -50,6 +51,9 @@ namespace ccn::obs {
 enum class SpanStage : std::uint8_t
 {
     HostEnqueue = 0, ///< Host driver accepted the buffer (txBurst).
+    BatchFlush,      ///< Publish of the enclosing batch began. The
+                     ///< HostEnqueue->BatchFlush delta is the signal-
+                     ///< coalescing hold time (0 when batching is off).
     DescPublish,     ///< Descriptor stores became visible.
     NicObserve,      ///< NIC engine observed the signal.
     WireTx,          ///< Handed to the wire (FCS stamped).
@@ -59,7 +63,7 @@ enum class SpanStage : std::uint8_t
 };
 
 /** Number of stages (= timestamps per span). */
-constexpr std::size_t kSpanStages = 7;
+constexpr std::size_t kSpanStages = 8;
 
 /** Stage label, e.g. "host_enqueue". */
 const char *spanStageName(SpanStage s);

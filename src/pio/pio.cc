@@ -113,12 +113,27 @@ PioNic::PioNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
         1, std::min<int>(cfg_.nicBatch,
                          static_cast<int>(cfg_.numSlots)));
     slotMask_ = cfg_.numSlots - 1;
+    // Clamp the credit-coalescing target to a quarter of the slot
+    // array: held credits shrink the flow-control window, and a target
+    // at or above numSlots would wedge the producer permanently.
+    if (cfg_.batch.enabled()) {
+        const std::uint32_t cap =
+            std::max<std::uint32_t>(1, cfg_.numSlots / 4);
+        cfg_.batch.size =
+            std::min(std::max(1u, cfg_.batch.size), cap);
+        cfg_.batch.maxSize = std::min(
+            std::max(cfg_.batch.size, cfg_.batch.maxSize), cap);
+    }
     pool_ = std::make_unique<driver::Mempool>(mem_, cfg_.pool, rng);
     for (int q = 0; q < cfg_.numQueues; ++q) {
         queues_.push_back(std::make_unique<Queue>(
             sim_, mem_, cfg_, hostSocket_, nicSocket_));
         queues_.back()->polls =
             &slotPollsQ_.at(static_cast<std::uint64_t>(q));
+        queues_.back()->rxCreditPending.setPolicy(cfg_.batch);
+        queues_.back()->txCreditPending.setPolicy(cfg_.batch);
+        queues_.back()->batchOcc =
+            &batchOccupancy_.at(static_cast<std::uint64_t>(q));
     }
     hostBeat_ =
         std::make_unique<driver::RegisterLine>(mem_, hostSocket_);
@@ -133,6 +148,8 @@ PioNic::start()
     for (int q = 0; q < cfg_.numQueues; ++q) {
         sim_.spawn(devTxTask(q));
         sim_.spawn(devRxTask(q));
+        if (cfg_.batch.enabled())
+            sim_.spawn(rxCreditTimerTask(q));
     }
     sim_.spawn(heartbeatTask());
 }
@@ -290,6 +307,11 @@ PioNic::reset()
             reclaimed += frees.size();
         }
 
+        // Pending credit flushes reference slots the sweep above just
+        // freed; drop them (the entries carry no buffers).
+        (void)queue.rxCreditPending.take(/*timeout_flush=*/true);
+        (void)queue.txCreditPending.take(/*timeout_flush=*/true);
+
         queue.txProd = queue.txCons = 0;
         queue.rxProd = queue.rxCons = 0;
     }
@@ -394,6 +416,14 @@ PioNic::txBurst(int q, PacketBuf **bufs, int count)
 
     co_await sim_.delay(
         cycles(costs.perPktTx * static_cast<double>(pending.size())));
+
+    // PIO TX has no host-side staging — the slot stores *are* the
+    // signal — so BatchFlush coincides with publish initiation.
+    {
+        const Tick flush_now = sim_.now();
+        for (Pending &p : pending)
+            p.msg.span.stamp(obs::SpanStage::BatchFlush, flush_now);
+    }
 
     // Posted stores of the slot lines: header + inline payload + the
     // Ready flip travel as one write burst; message state is published
@@ -525,7 +555,20 @@ PioNic::devTxTask(int q)
         // flip at visibility).
         queue.txCons = idx;
         queue.txCompletedTotal += batch.size();
-        {
+        if (cfg_.batch.enabled()) {
+            // Coalesce: hold the credits until enough accumulate or
+            // the head runs dry (an idle device flushes immediately so
+            // a stalled producer is never waiting on a timer).
+            for (const Taken &t : batch)
+                queue.txCreditPending.stage(t.idx, nullptr,
+                                            sim_.now());
+            const bool idle =
+                txSlot(queue, idx).state != SlotState::Ready;
+            if (queue.txCreditPending.full())
+                co_await flushTxCredits(q, /*idle_flush=*/false);
+            else if (idle)
+                co_await flushTxCredits(q, /*idle_flush=*/true);
+        } else {
             Queue *qp = &queue;
             std::vector<std::uint32_t> taken_idx;
             taken_idx.reserve(batch.size());
@@ -697,6 +740,89 @@ PioNic::devRxTask(int q)
     }
 }
 
+sim::Coro<void>
+PioNic::flushTxCredits(int q, bool idle_flush)
+{
+    Queue &queue = *queues_[q];
+    const auto entries = queue.txCreditPending.take(
+        idle_flush, queue.txProd - queue.txCons);
+    if (entries.empty())
+        co_return;
+    batchFlushTotal_++;
+    batchFlushes_.at(idle_flush ? "idle" : "full")++;
+    if (queue.batchOcc)
+        *queue.batchOcc += entries.size();
+
+    std::vector<mem::CoherentSystem::Span> spans;
+    std::vector<std::uint32_t> idxs;
+    idxs.reserve(entries.size());
+    for (const auto &e : entries) {
+        idxs.push_back(e.idx);
+        spans.push_back({txLineOf(queue, e.idx), slotBytes()});
+    }
+    Queue *qp = &queue;
+    auto publish = [this, qp, idxs]() {
+        for (std::uint32_t i : idxs)
+            txSlot(*qp, i).state = SlotState::Free;
+    };
+    co_await mem_.postMulti(queue.nicAgent, spans,
+                            std::move(publish));
+    co_await devPortDelay();
+    noteSlotWrite(spans.front().addr);
+    co_return;
+}
+
+sim::Coro<void>
+PioNic::flushRxCredits(int q, bool timeout_flush)
+{
+    Queue &queue = *queues_[q];
+    const auto entries = queue.rxCreditPending.take(
+        timeout_flush,
+        static_cast<std::uint32_t>(queue.rxInput.size()));
+    if (entries.empty())
+        co_return;
+    batchFlushTotal_++;
+    batchFlushes_.at(timeout_flush ? "timeout" : "full")++;
+    if (queue.batchOcc)
+        *queue.batchOcc += entries.size();
+
+    std::vector<mem::CoherentSystem::Span> spans;
+    std::vector<std::uint32_t> idxs;
+    idxs.reserve(entries.size());
+    for (const auto &e : entries) {
+        idxs.push_back(e.idx);
+        spans.push_back({rxLineOf(queue, e.idx), slotBytes()});
+    }
+    Queue *qp = &queue;
+    auto publish = [this, qp, idxs]() {
+        for (std::uint32_t i : idxs) {
+            MsgSlot &s = rxSlot(*qp, i);
+            s.msg = WirePacket{};
+            s.state = SlotState::Free;
+        }
+    };
+    co_await mem_.postMulti(queue.hostAgent, spans,
+                            std::move(publish));
+    noteSlotWrite(spans.front().addr);
+    co_return;
+}
+
+sim::Task
+PioNic::rxCreditTimerTask(int q)
+{
+    Queue &queue = *queues_[q];
+    const Tick period =
+        std::max<Tick>(1, cfg_.batch.flushTimeout / 2);
+    for (;;) {
+        co_await sim_.delay(period);
+        if (devState_ != DevState::Running)
+            continue; // reset() drops the stale pending credits.
+        if (!queue.rxCreditPending.empty() &&
+            queue.rxCreditPending.timedOut(sim_.now()))
+            co_await flushRxCredits(q, /*timeout_flush=*/true);
+    }
+}
+
 sim::Coro<int>
 PioNic::rxBurst(int q, PacketBuf **bufs, int count)
 {
@@ -797,8 +923,15 @@ PioNic::rxBurst(int q, PacketBuf **bufs, int count)
     co_await sim_.delay(
         cycles(costs.perPktRx * static_cast<double>(got.size())));
 
-    // Credit return: posted stores flipping the slots Free.
-    {
+    // Credit return: posted stores flipping the slots Free. Under
+    // coalescing the slots stay Taken (consumer-private) until enough
+    // credits accumulate; the flush timer bounds the hold.
+    if (cfg_.batch.enabled()) {
+        for (std::uint32_t i : taken_idx)
+            queue.rxCreditPending.stage(i, nullptr, sim_.now());
+        if (queue.rxCreditPending.full())
+            co_await flushRxCredits(q, /*timeout_flush=*/false);
+    } else {
         Queue *qp = &queue;
         auto publish = [this, qp, taken_idx]() {
             for (std::uint32_t i : taken_idx) {

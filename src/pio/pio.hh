@@ -90,6 +90,14 @@ struct Config
 
     int nicBatch = 8; ///< Device-side processing burst.
 
+    /// Credit-return coalescing (Fig 16): consumed slots on both sides
+    /// stay Taken until B credits are pending (or the flush timeout /
+    /// an idle consumer flushes early), so returning a reaped batch
+    /// costs one slot-line write burst instead of one per message. The
+    /// target is clamped to a quarter of the slot array so the flow-
+    /// control window never collapses. Off by default.
+    driver::BatchPolicy batch;
+
     /// Home the RX slot array on the device socket (writer-homed,
     /// like CC-NIC's RX ring). The CXL.cache preset turns this off:
     /// a Type-1 device caches host memory, it exports none.
@@ -232,6 +240,9 @@ class PioNic : public driver::NicInterface
     /** Frames that took the spill (pool-buffer) path. */
     std::uint64_t spills() const { return spills_; }
 
+    /** Coalesced credit-return flushes performed (both sides). */
+    std::uint64_t batchFlushes() const { return batchFlushTotal_; }
+
   private:
     /** Slot ownership state (the credit lives here). */
     enum class SlotState : std::uint8_t
@@ -272,6 +283,11 @@ class PioNic : public driver::NicInterface
         sim::Semaphore coreLock; ///< One device core serves both tasks.
         sim::Gate wireDrained;   ///< RX engine drained below cap.
 
+        /// Credit-return coalescing: reaped-but-not-yet-freed slot
+        /// indices on the host RX side and the device TX side.
+        driver::PublishBatch rxCreditPending;
+        driver::PublishBatch txCreditPending;
+
         // Monotonic progress counters (survive resets); the Watchdog
         // samples these through health() for stall detection.
         std::uint64_t txSubmittedTotal = 0;
@@ -280,6 +296,8 @@ class PioNic : public driver::NicInterface
 
         /// Per-queue poll child ("pio.slot_polls{queue=N}").
         obs::Counter *polls = nullptr;
+        /// Per-queue batch-occupancy child (credits per flush).
+        obs::Counter *batchOcc = nullptr;
     };
 
     /** Device lifecycle state. */
@@ -303,6 +321,16 @@ class PioNic : public driver::NicInterface
     sim::Task devTxTask(int q);
     sim::Task devRxTask(int q);
     sim::Task heartbeatTask();
+
+    /// @name Credit-return coalescing (Fig 16).
+    /// @{
+    /** Flip every pending host-reaped RX slot back to Free at once. */
+    sim::Coro<void> flushRxCredits(int q, bool timeout_flush);
+    /** Bounds how long host-side RX credits may sit unflushed. */
+    sim::Task rxCreditTimerTask(int q);
+    /** Flip every pending device-consumed TX slot back to Free. */
+    sim::Coro<void> flushTxCredits(int q, bool idle_flush);
+    /// @}
 
     /** Bytes occupied by one message slot. */
     std::uint32_t
@@ -399,6 +427,10 @@ class PioNic : public driver::NicInterface
     obs::Counter heartbeats_{"pio.heartbeats"};
     obs::Counter resets_{"pio.resets"};
     obs::Counter resetReclaimed_{"pio.reset_reclaimed_bufs"};
+    obs::LabeledCounter batchFlushes_{"pio.batch_flushes", "reason"};
+    obs::LabeledCounter batchOccupancy_{"pio.batch_occupancy",
+                                        "queue"};
+    std::uint64_t batchFlushTotal_ = 0;
     bool started_ = false;
 
     // Lifecycle state; heartbeat lines are writer-homed single-line

@@ -26,6 +26,9 @@ struct HostSpec
     std::string name;
     std::string interface = "ccnic"; ///< Canonical family key.
     int queues = 2;
+    /// Signal-coalescing spec: "" or "off" (disabled), a positive
+    /// integer (fixed publish-batch target), or "adaptive".
+    std::string batch;
     int line = 0, col = 0; ///< Declaration site (diagnostics).
 };
 

@@ -154,6 +154,20 @@ class Parser
             } else if (p.text == "queues") {
                 h.queues = static_cast<int>(
                     positiveInt("queues", 64));
+            } else if (p.text == "batch") {
+                const Token t = peek();
+                if (at(TokKind::Number)) {
+                    h.batch = std::to_string(
+                        positiveInt("batch", 4096));
+                } else {
+                    const std::string m =
+                        expectIdent("a batch mode");
+                    if (m != "off" && m != "adaptive")
+                        fail(t, "unknown batch mode '" + m +
+                                    "' (expected off, adaptive, or "
+                                    "a size)");
+                    h.batch = m;
+                }
             } else {
                 fail(p, "unknown keyword '" + p.text +
                             "' in host block");

@@ -70,7 +70,7 @@ struct FabricRun
         for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
             const HostSpec &h = spec.hosts[i];
             hosts.push_back(makeHost(simv, h.interface, plat,
-                                     h.queues, 11 + i));
+                                     h.queues, 11 + i, h.batch));
             addrs.push_back(fabric.attach(h.name,
                                           hostHooks(*hosts.back()),
                                           linkFor(spec, h.name)));

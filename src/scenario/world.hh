@@ -19,6 +19,8 @@
 #ifndef CCN_SCENARIO_WORLD_HH
 #define CCN_SCENARIO_WORLD_HH
 
+#include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -76,6 +78,35 @@ addObsSections(stats::JsonReport &json)
     json.add("counters", obs::Registry::global().snapshot());
     json.add("latency", obs::SpanTable::global().table());
     json.add("timeseries", obs::Sampler::table());
+}
+
+/**
+ * Parse a scenario/bench batch spec into a driver::BatchPolicy:
+ * "" or "off" → coalescing disabled, a positive integer → Fixed with
+ * that publish target, "adaptive" → Adaptive with the default start
+ * target. Throws std::invalid_argument on anything else so typos in
+ * baselines and CI configs fail loudly.
+ */
+inline driver::BatchPolicy
+batchPolicyFromSpec(const std::string &spec)
+{
+    driver::BatchPolicy p;
+    if (spec.empty() || spec == "off")
+        return p;
+    if (spec == "adaptive") {
+        p.mode = driver::BatchMode::Adaptive;
+        return p;
+    }
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(spec.c_str(), &end, 10);
+    if (end == spec.c_str() || *end != '\0' || n == 0)
+        throw std::invalid_argument(
+            "bad batch spec '" + spec +
+            "' (expected off, adaptive, or a positive size)");
+    p.mode = driver::BatchMode::Fixed;
+    p.size = static_cast<std::uint32_t>(n);
+    p.maxSize = std::max(p.maxSize, p.size);
+    return p;
 }
 
 /** Build a world with a CC-NIC (or variant) attached. */
@@ -209,43 +240,53 @@ familyKeyList()
  */
 inline std::function<std::unique_ptr<World>()>
 worldFactory(const std::string &key, const mem::PlatformConfig &plat,
-             int queues, bool loopback = true)
+             int queues, bool loopback = true,
+             const std::string &batch = {})
 {
+    const driver::BatchPolicy bp = batchPolicyFromSpec(batch);
     if (key == "ccnic") {
-        return [plat, queues, loopback] {
+        return [plat, queues, loopback, bp] {
             auto cfg = ccnic::optimizedConfig(queues, 0, plat);
             cfg.loopback = loopback;
+            cfg.batch = bp;
             return makeCcNicWorld(plat, cfg);
         };
     }
     if (key == "upi_unopt") {
-        return [plat, queues, loopback] {
+        return [plat, queues, loopback, bp] {
             auto cfg = ccnic::unoptimizedConfig(queues, 0, plat);
             cfg.loopback = loopback;
+            cfg.batch = bp;
             return makeCcNicWorld(plat, cfg);
         };
     }
     if (key == "pcie_e810") {
-        return [plat, queues] {
-            return makePcieWorld(plat, nic::e810Params(), queues);
+        return [plat, queues, bp] {
+            auto params = nic::e810Params();
+            params.batch = bp;
+            return makePcieWorld(plat, params, queues);
         };
     }
     if (key == "pcie_cx6") {
-        return [plat, queues] {
-            return makePcieWorld(plat, nic::cx6Params(), queues);
+        return [plat, queues, bp] {
+            auto params = nic::cx6Params();
+            params.batch = bp;
+            return makePcieWorld(plat, params, queues);
         };
     }
     if (key == "pio") {
-        return [plat, queues, loopback] {
+        return [plat, queues, loopback, bp] {
             auto cfg = pio::upiConfig(queues, 0, plat);
             cfg.loopback = loopback;
+            cfg.batch = bp;
             return makePioWorld(plat, cfg);
         };
     }
     if (key == "pio_cxl") {
-        return [plat, queues, loopback] {
+        return [plat, queues, loopback, bp] {
             auto cfg = pio::cxlConfig(queues, 0, plat);
             cfg.loopback = loopback;
+            cfg.batch = bp;
             return makePioWorld(plat, cfg);
         };
     }
@@ -280,23 +321,26 @@ struct HostWorld
 inline std::unique_ptr<HostWorld>
 makeHost(sim::Simulator &sim, const std::string &key,
          const mem::PlatformConfig &plat, int queues,
-         std::uint64_t seed)
+         std::uint64_t seed, const std::string &batch = {})
 {
+    const driver::BatchPolicy bp = batchPolicyFromSpec(batch);
     auto w = std::make_unique<HostWorld>(sim, plat, seed);
     if (key == "ccnic" || key == "upi_unopt") {
         auto cfg = key == "ccnic"
                        ? ccnic::optimizedConfig(queues, 0, plat)
                        : ccnic::unoptimizedConfig(queues, 0, plat);
         cfg.loopback = false;
+        cfg.batch = bp;
         auto n = std::make_unique<ccnic::CcNic>(sim, w->system, cfg, 0,
                                                 1, w->rng);
         w->ccnic = n.get();
         n->start();
         w->nic = std::move(n);
     } else if (key == "pcie_e810" || key == "pcie_cx6") {
-        const nic::NicParams params = key == "pcie_e810"
-                                          ? nic::e810Params()
-                                          : nic::cx6Params();
+        nic::NicParams params = key == "pcie_e810"
+                                    ? nic::e810Params()
+                                    : nic::cx6Params();
+        params.batch = bp;
         auto n = std::make_unique<nic::PcieNic>(sim, w->system, params,
                                                 queues, 0, w->rng);
         w->pcie = n.get();
@@ -306,6 +350,7 @@ makeHost(sim::Simulator &sim, const std::string &key,
         auto cfg = key == "pio" ? pio::upiConfig(queues, 0, plat)
                                 : pio::cxlConfig(queues, 0, plat);
         cfg.loopback = false;
+        cfg.batch = bp;
         auto n = std::make_unique<pio::PioNic>(sim, w->system, cfg, 0,
                                                1, w->rng);
         w->pio = n.get();

@@ -71,20 +71,28 @@ class Histogram
 
     /**
      * Value at percentile @p p in [0, 100]. Returns the representative
-     * midpoint of the bucket containing the requested rank.
+     * midpoint of the bucket containing the requested rank, clamped
+     * into [min(), max()] so a bucket representative can never fall
+     * outside the observed range. Pinned boundary semantics: an empty
+     * histogram returns 0 for every p, p <= 0 returns min(), and
+     * p >= 100 returns max() exactly.
      */
     std::uint64_t
     percentile(double p) const
     {
         if (total_ == 0)
             return 0;
+        if (p <= 0.0)
+            return min_;
+        if (p >= 100.0)
+            return max_;
         const double rank_target =
             std::max(1.0, p / 100.0 * static_cast<double>(total_));
         std::uint64_t running = 0;
         for (std::size_t i = 0; i < counts_.size(); ++i) {
             running += counts_[i];
             if (static_cast<double>(running) >= rank_target)
-                return bucketMidpoint(i);
+                return std::clamp(bucketMidpoint(i), min_, max_);
         }
         return max_;
     }

@@ -234,6 +234,125 @@ TEST(DescRing, RoundUpPow2)
     EXPECT_EQ(DescRing::roundUpPow2(1u << 31), 1u << 31);
 }
 
+// Regression (batched publication): a blank descriptor mid-group is
+// only skippable when the producer sealed the line. Before the fix the
+// Grouped-layout consumer skipped to the next line on *any* mid-group
+// blank, which leaps over descriptors a later batched flush writes
+// into the open group. This exercises every partial fill of a 4-slot
+// group (1..3 published descriptors) against the consumer's skip
+// predicate.
+TEST(DescRing, OpenGroupBlanksAreNotSkippable)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, mem::icxConfig());
+    for (std::uint32_t published = 1; published <= 3; ++published) {
+        driver::DescRing ring(m, 0, 16, driver::RingLayout::Grouped);
+        for (std::uint32_t i = 0; i < published; ++i)
+            ring.slot(i).ready = true;
+        // The consumer's skip predicate: blank, mid-group, sealed.
+        auto skippable = [&](std::uint32_t idx) {
+            return !ring.slot(idx).ready && (idx % ring.perLine()) != 0 &&
+                   ring.lineSealed(idx);
+        };
+        // Open group: the first blank must be a wait, not a skip.
+        EXPECT_FALSE(skippable(published))
+            << "open group skipped at fill " << published;
+        // A later flush continues mid-group and the consumer resumes.
+        ring.slot(published).ready = true;
+        EXPECT_TRUE(ring.slot(published).ready);
+        // Producer abandons the remaining tail: now skipping is legal
+        // for every blank after the seal (unless the group is full).
+        ring.sealLine(published);
+        for (std::uint32_t i = published + 1; i < ring.perLine(); ++i)
+            EXPECT_TRUE(skippable(i)) << "sealed blank at " << i;
+        // Recycling the line reopens the group.
+        ring.clearSeal(published);
+        for (std::uint32_t i = published + 1; i < ring.perLine(); ++i)
+            EXPECT_FALSE(skippable(i));
+    }
+}
+
+TEST(DescRing, SealsArePerLineAndWrap)
+{
+    sim::Simulator simv;
+    mem::CoherentSystem m(simv, mem::icxConfig());
+    driver::DescRing ring(m, 0, 16, driver::RingLayout::Grouped);
+    ring.sealLine(5);
+    // The seal covers the whole 4-slot group, not just one index.
+    for (std::uint32_t i = 4; i < 8; ++i)
+        EXPECT_TRUE(ring.lineSealed(i));
+    EXPECT_FALSE(ring.lineSealed(3));
+    EXPECT_FALSE(ring.lineSealed(8));
+    // Index wrapping reaches the same group.
+    EXPECT_TRUE(ring.lineSealed(5 + 16));
+    ring.clearSeal(21); // Wrapped alias of 5.
+    EXPECT_FALSE(ring.lineSealed(5));
+    ring.sealLine(0);
+    ring.sealLine(12);
+    ring.clearAllSeals();
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_FALSE(ring.lineSealed(i));
+}
+
+TEST(PublishBatch, FixedFillAndTimeout)
+{
+    driver::BatchPolicy pol;
+    pol.mode = driver::BatchMode::Fixed;
+    pol.size = 4;
+    pol.flushTimeout = 100;
+    driver::PublishBatch b(pol);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.full());
+    for (std::uint32_t i = 0; i < 3; ++i)
+        b.stage(i, nullptr, 10 + i);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_FALSE(b.full());
+    // Timeout is measured from the *oldest* staged entry.
+    EXPECT_EQ(b.oldestStagedAt(), 10u);
+    EXPECT_FALSE(b.timedOut(109));
+    EXPECT_TRUE(b.timedOut(110));
+    b.stage(3, nullptr, 13);
+    EXPECT_TRUE(b.full());
+    auto entries = b.take(/*timeout_flush=*/false, /*backlog=*/0);
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries.front().idx, 0u);
+    EXPECT_EQ(entries.back().idx, 3u);
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.oldestStagedAt(), 0u);
+    // Fixed mode never moves the target.
+    EXPECT_EQ(b.target(), 4u);
+}
+
+TEST(PublishBatch, AdaptiveGrowsUnderBacklogAndDecaysOnTimeout)
+{
+    driver::BatchPolicy pol;
+    pol.mode = driver::BatchMode::Adaptive;
+    pol.size = 4;
+    pol.maxSize = 16;
+    driver::PublishBatch b(pol);
+    EXPECT_EQ(b.target(), 4u);
+    // Full flush with a deeper backlog: target doubles, capped.
+    for (std::uint32_t i = 0; i < 4; ++i)
+        b.stage(i, nullptr, 0);
+    (void)b.take(false, /*backlog=*/32);
+    EXPECT_EQ(b.target(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        b.stage(i, nullptr, 0);
+    (void)b.take(false, 32);
+    EXPECT_EQ(b.target(), 16u);
+    (void)b.take(false, 32);
+    EXPECT_EQ(b.target(), 16u); // maxSize ceiling.
+    // Timeout flush that caught the batch under half full: decay.
+    b.stage(0, nullptr, 0);
+    (void)b.take(/*timeout_flush=*/true, 0);
+    EXPECT_EQ(b.target(), 8u);
+    // Timeout flush at or above half occupancy keeps the target.
+    for (std::uint32_t i = 0; i < 4; ++i)
+        b.stage(i, nullptr, 0);
+    (void)b.take(true, 0);
+    EXPECT_EQ(b.target(), 8u);
+}
+
 // Regression: the ring wraps indices by masking with entries-1, which
 // silently aliased distinct slots whenever a non-power-of-two size was
 // requested (e.g. 48 -> mask 47 = 0b101111 maps 16 and 0 together).

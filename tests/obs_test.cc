@@ -399,6 +399,7 @@ TEST_F(ObsTest, SpanCommitRecordsStagePairHistograms)
     st.setSampleEvery(1);
     obs::PacketSpan sp;
     ASSERT_TRUE(st.maybeStart(sp, 100)); // host_enqueue = 100.
+    sp.stamp(obs::SpanStage::BatchFlush, 150);
     sp.stamp(obs::SpanStage::DescPublish, 200);
     sp.stamp(obs::SpanStage::NicObserve, 300);
     sp.stamp(obs::SpanStage::WireTx, 450);
@@ -412,10 +413,10 @@ TEST_F(ObsTest, SpanCommitRecordsStagePairHistograms)
     const auto *h0 = st.stageHist("test", 0);
     ASSERT_NE(h0, nullptr);
     EXPECT_EQ(h0->count(), 1u);
-    EXPECT_EQ(h0->sum(), 100u); // 200 - 100.
-    const auto *h2 = st.stageHist("test", 2);
-    ASSERT_NE(h2, nullptr);
-    EXPECT_EQ(h2->sum(), 150u); // 450 - 300.
+    EXPECT_EQ(h0->sum(), 50u); // batch_flush 150 - enqueue 100.
+    const auto *h3 = st.stageHist("test", 3);
+    ASSERT_NE(h3, nullptr);
+    EXPECT_EQ(h3->sum(), 150u); // wire_tx 450 - nic_observe 300.
     const auto *e2e = st.endToEnd("test");
     ASSERT_NE(e2e, nullptr);
     EXPECT_EQ(e2e->count(), 1u);

@@ -212,6 +212,28 @@ TEST(ScenarioParser, FullKvSpecParses)
     EXPECT_EQ(spec.workload.captureFile, "c.trace");
 }
 
+TEST(ScenarioParser, HostBatchSpecParses)
+{
+    const ScenarioSpec spec = parse(
+        "host a { interface ccnic; batch 8; }\n"
+        "host b { interface pio; batch adaptive; }\n"
+        "host c { interface pcie; batch off; }\n"
+        "host d { interface ccnic; }\n"
+        "workload kv { server a; client b; }\n");
+    ASSERT_EQ(spec.hosts.size(), 4u);
+    EXPECT_EQ(spec.hosts[0].batch, "8");
+    EXPECT_EQ(spec.hosts[1].batch, "adaptive");
+    EXPECT_EQ(spec.hosts[2].batch, "off");
+    EXPECT_EQ(spec.hosts[3].batch, ""); // Unset: policy stays off.
+}
+
+TEST(ScenarioParser, UnknownBatchModeRejected)
+{
+    expectError("host a { batch sometimes; }", 1, 16,
+                "unknown batch mode 'sometimes' (expected off, "
+                "adaptive, or a size)");
+}
+
 TEST(ScenarioParser, FixedValueSizes)
 {
     const ScenarioSpec spec = parse(

@@ -118,6 +118,41 @@ TEST(Histogram, LargeValuesBounded)
     EXPECT_GE(h.percentile(50.0), big / 2 - big / 64);
 }
 
+// Regression: percentile() used to return the representative of
+// whatever bucket the rank landed in, so p=100 on a single-sample
+// histogram could report a bucket midpoint above the only recorded
+// value, and p=0 skipped past min() into the first occupied bucket's
+// midpoint. The boundary semantics are now pinned: empty -> 0 for
+// every p, p<=0 -> min(), p>=100 -> max(), and interior percentiles
+// are clamped into the observed [min, max] range. The fig16 bench's
+// p0/p100 span columns rely on these being exact.
+TEST(Histogram, PercentileBoundarySemantics)
+{
+    Histogram empty;
+    for (double p : {0.0, 50.0, 100.0})
+        EXPECT_EQ(empty.percentile(p), 0u);
+
+    Histogram one;
+    one.record(1000003); // Not a bucket boundary: midpoint != value.
+    EXPECT_EQ(one.percentile(0.0), 1000003u);
+    EXPECT_EQ(one.percentile(50.0), 1000003u);
+    EXPECT_EQ(one.percentile(100.0), 1000003u);
+    // Out-of-range p clamps to the boundaries rather than misbehaving.
+    EXPECT_EQ(one.percentile(-5.0), 1000003u);
+    EXPECT_EQ(one.percentile(250.0), 1000003u);
+
+    Histogram two;
+    two.record(100);
+    two.record(900000);
+    EXPECT_EQ(two.percentile(0.0), 100u);
+    EXPECT_EQ(two.percentile(100.0), 900000u);
+    // Every interior percentile stays inside the observed range.
+    for (double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+        EXPECT_GE(two.percentile(p), 100u) << p;
+        EXPECT_LE(two.percentile(p), 900000u) << p;
+    }
+}
+
 TEST(Histogram, RandomStreamPercentilesMonotone)
 {
     Histogram h;

@@ -94,6 +94,31 @@ BASELINE_TRACKED = [
     ("pio.tx_packets", "pio.rx_delivered"),
 ]
 
+# Per-family delivered-packet counters, in preference order. The
+# baseline normalizer falls back down this list, so a report from a
+# single-family bench (e.g. a PIO-only run) can still be gated and
+# baselined instead of hard-failing on the absent ccnic counter.
+FAMILY_NORMALIZERS = [
+    "ccnic.rx_delivered",
+    "pio.rx_delivered",
+    "pcie_nic.tx_packets",
+]
+
+
+def pick_normalizer(c: dict):
+    """First family delivered-counter present and nonzero, or None."""
+    for name in FAMILY_NORMALIZERS:
+        if c.get(name, 0.0) > 0:
+            return name
+    return None
+
+
+def families_present(c: dict) -> str:
+    """Which family delivered-counters the report carries (diag)."""
+    present = [n for n in FAMILY_NORMALIZERS if n in c]
+    return ", ".join(present) if present else "none"
+
+
 BASELINE_ZERO = [
     "transport.retransmits",
     "transport.fast_retransmits",
@@ -138,21 +163,31 @@ def check_invariants(c: dict, max_reads_per_pkt: float,
             f"loss-free run retransmitted: transport.retransmits="
             f"{rtx:.0f} transport.fast_retransmits={frtx:.0f}")
 
-    reads = c.get("ccnic.signal_reads")
-    delivered = c.get("ccnic.rx_delivered")
-    if reads is None or delivered is None or delivered == 0:
+    # Signaling-efficiency invariants apply per family, each only
+    # when that family actually delivered packets; a report from a
+    # single-family bench must not fail on the families it never ran.
+    if pick_normalizer(c) is None:
         failures.append(
-            "ccnic.signal_reads / ccnic.rx_delivered unavailable "
-            f"(reads={reads}, delivered={delivered})")
-    else:
-        ratio = reads / delivered
-        print(f"signal reads per delivered packet: {ratio:.2f} "
-              f"(bound {max_reads_per_pkt})")
-        if ratio > max_reads_per_pkt:
+            "no interface family delivered packets (looked for "
+            + ", ".join(FAMILY_NORMALIZERS) + "; present: "
+            + families_present(c) + ")")
+
+    reads = c.get("ccnic.signal_reads")
+    delivered = c.get("ccnic.rx_delivered", 0.0)
+    if delivered > 0:
+        if reads is None:
             failures.append(
-                f"signaling efficiency regressed: {ratio:.2f} "
-                f"signal reads per packet > bound "
-                f"{max_reads_per_pkt}")
+                "ccnic.signal_reads missing despite "
+                f"ccnic.rx_delivered={delivered:.0f}")
+        else:
+            ratio = reads / delivered
+            print(f"signal reads per delivered packet: {ratio:.2f} "
+                  f"(bound {max_reads_per_pkt})")
+            if ratio > max_reads_per_pkt:
+                failures.append(
+                    f"signaling efficiency regressed: {ratio:.2f} "
+                    f"signal reads per packet > bound "
+                    f"{max_reads_per_pkt}")
 
     # The PIO family's analogue of the signaling discipline: slot
     # polls per delivered packet. Only checked when the section came
@@ -199,11 +234,21 @@ def check_timeseries(sections: dict, section: str,
 
 def check_baseline(c: dict, kinds: dict, baseline: dict,
                    tolerance: float, failures: list) -> None:
-    norm_name = baseline.get("normalize_by", "ccnic.rx_delivered")
+    norm_name = baseline.get("normalize_by")
+    if norm_name is None:
+        norm_name = pick_normalizer(c)
+        if norm_name is None:
+            failures.append(
+                "baseline has no 'normalize_by' and no family "
+                "delivered-packet counter is present (families in "
+                f"report: {families_present(c)})")
+            return
+        print(f"baseline normalizer defaulted to {norm_name}")
     norm = c.get(norm_name, 0.0)
     if norm <= 0:
         failures.append(
-            f"baseline normalizer '{norm_name}' missing or zero")
+            f"baseline normalizer '{norm_name}' missing or zero "
+            f"(families present: {families_present(c)})")
         return
     tol = baseline.get("tolerance", tolerance)
 
@@ -257,11 +302,13 @@ def check_baseline(c: dict, kinds: dict, baseline: dict,
 def write_baseline(c: dict, kinds: dict, out_path: str,
                    tolerance: float, section: str,
                    lossy: bool = False) -> None:
-    norm_name = "ccnic.rx_delivered"
-    norm = c.get(norm_name, 0.0)
-    if norm <= 0:
+    norm_name = pick_normalizer(c)
+    if norm_name is None:
         raise SystemExit(
-            f"FAIL: cannot write baseline, '{norm_name}' missing")
+            "FAIL: cannot write baseline, no family delivered-packet "
+            "counter present (looked for: "
+            + ", ".join(FAMILY_NORMALIZERS) + ")")
+    norm = c[norm_name]
     per_pkt = {}
     for name, custom_norm in BASELINE_TRACKED:
         if name not in c or kinds.get(name) == "gauge":
@@ -477,6 +524,64 @@ def selftest() -> int:
                     DEFAULT_TOLERANCE, section="counters") == 0:
             print("SELFTEST FAIL: injected slot-poll regression "
                   "passed the gate", file=sys.stderr)
+            return 1
+
+        # A single-family report with no ccnic counters at all must
+        # gate cleanly: the invariants and the baseline normalizer
+        # fall back to the family that actually ran instead of
+        # hard-requiring ccnic.rx_delivered.
+        def pio_only_report() -> dict:
+            return {
+                "bench": "selftest-pio",
+                "sections": {
+                    "counters": {
+                        "columns": ["counter", "kind", "value"],
+                        "rows": [
+                            {"counter": "pio.rx_delivered",
+                             "kind": "counter", "value": 50000},
+                            {"counter": "pio.slot_polls",
+                             "kind": "counter", "value": 100000},
+                            {"counter": "pio.slot_writes",
+                             "kind": "counter", "value": 120000},
+                            {"counter": "transport.retransmits",
+                             "kind": "counter", "value": 0},
+                        ],
+                    },
+                },
+            }
+
+        ppath = os.path.join(td, "pio_only.json")
+        with open(ppath, "w", encoding="utf-8") as f:
+            json.dump(pio_only_report(), f)
+        pio_bl = {
+            "section": "counters",
+            "tolerance": 0.25,
+            # No normalize_by: the gate must default per family.
+            "per_packet": {"pio.slot_polls": 2.0},
+            "zero": ["transport.retransmits"],
+        }
+        pbl = os.path.join(td, "pio_baseline.json")
+        with open(pbl, "w", encoding="utf-8") as f:
+            json.dump(pio_bl, f)
+        if run_gate(ppath, pbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE, section="counters") != 0:
+            print("SELFTEST FAIL: PIO-only report did not pass",
+                  file=sys.stderr)
+            return 1
+
+        # --write-baseline on the same report must record the PIO
+        # normalizer rather than dying on the absent ccnic counter.
+        pio_sections = load_sections(ppath)
+        pc, pkinds = counters_of(pio_sections, "counters", ppath)
+        pout = os.path.join(td, "pio_written.json")
+        write_baseline(pc, pkinds, pout, DEFAULT_TOLERANCE,
+                       "counters")
+        with open(pout, encoding="utf-8") as f:
+            written = json.load(f)
+        if written.get("normalize_by") != "pio.rx_delivered":
+            print("SELFTEST FAIL: written PIO baseline normalizer "
+                  f"is {written.get('normalize_by')!r}, expected "
+                  "'pio.rx_delivered'", file=sys.stderr)
             return 1
 
         # Lossy runs (chaos/fault scenarios): retransmits are by
