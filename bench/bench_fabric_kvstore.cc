@@ -146,6 +146,72 @@ runLossPoint(double loss_rate, double offered)
     return p;
 }
 
+/**
+ * One seeded memory-chaos run for an interface family: coherence-layer
+ * poison, torn-visibility, stuck-line and brownout events land on the
+ * client NIC's live datapath lines while the reliable KV workload
+ * runs. Links are clean — every anomaly comes from the memory system,
+ * so lost/duplicated ops here would indict the integrity machinery,
+ * not the wire.
+ */
+struct MemChaosPoint
+{
+    workload::ChaosKvResult c;
+    double availabilityPct = 0; ///< responses / sent, percent.
+};
+
+MemChaosPoint
+runMemChaosPoint(const std::string &family, double offered)
+{
+    const auto plat = mem::icxConfig();
+    sim::Simulator simv;
+    obs::Sampler sampler(simv);
+    sampler.start();
+
+    auto server = scenario::makeHost(simv, family, plat, 4, 11);
+    auto client = scenario::makeHost(simv, family, plat, 2, 12);
+
+    net::Fabric fabric(simv);
+    net::LinkConfig link;
+    link.gbps = 25.0;
+    link.queuePackets = 128;
+    const auto server_addr = fabric.attach(
+        "server", scenario::hostHooks(*server), link);
+    const auto client_addr = fabric.attach(
+        "client", scenario::hostHooks(*client), link);
+
+    workload::ClientServerConfig cfg;
+    cfg.kv.serverThreads = 4;
+    cfg.kv.numObjects = 1u << 16;
+    cfg.kv.sizes = workload::SizeDist::ads();
+    cfg.offeredOps = offered;
+    cfg.clientQueues = 2;
+    cfg.window = sim::fromUs(400.0);
+    cfg.drain = sim::fromUs(3000.0); // Recovery needs headroom.
+    cfg.tp.minRto = sim::fromUs(50.0);
+
+    workload::ChaosConfig chaos;
+    chaos.seed = 0xc4a05ULL;
+    chaos.nicWedges = 0; // Pure memory chaos: no wedges/flaps/loss.
+    chaos.linkFlaps = 0;
+    chaos.lossBursts = 0;
+    chaos.poisons = 3;
+    chaos.torns = 2;
+    chaos.stuckLines = 1;
+    chaos.brownouts = 2;
+
+    MemChaosPoint p;
+    p.c = workload::runKvClientServerChaos(
+        simv, server->system, *server->nic, client->system,
+        *client->nic, fabric, server_addr, client_addr, cfg, chaos);
+    if (p.c.kv.requestsSent > 0) {
+        p.availabilityPct =
+            100.0 * static_cast<double>(p.c.kv.responses) /
+            static_cast<double>(p.c.kv.requestsSent);
+    }
+    return p;
+}
+
 /** One seeded chaos run: wedges + flaps + loss on 25 Gb/s links. */
 workload::ChaosKvResult
 runChaosPoint(double loss_rate, double offered)
@@ -269,10 +335,33 @@ main(int argc, char **argv)
         .cell(c.leakedBufs).cell(c.ringsLive ? 1 : 0);
     ct.print();
 
+    stats::banner("Memory-chaos mode: coherence-layer poison/torn/"
+                  "stuck/brownout per interface family (seeded, clean "
+                  "links)");
+    stats::Table mt({"interface", "poisons", "torns", "stuck", "brownouts",
+                     "integrity_retries", "integrity_faults",
+                     "recoveries", "recovery_p50_ns", "recovery_p99_ns",
+                     "lost_requests", "dup_responses",
+                     "availability_pct", "leaked_bufs", "rings_live"});
+    for (const char *family : {"ccnic", "pcie_e810", "pio"}) {
+        const auto mp = runMemChaosPoint(family, 1e6);
+        mt.row().cell(scenario::familyLabel(family))
+            .cell(mp.c.poisonsInjected).cell(mp.c.tornsInjected)
+            .cell(mp.c.stucksInjected).cell(mp.c.brownoutsInjected)
+            .cell(mp.c.integrityRetries).cell(mp.c.integrityFaults)
+            .cell(mp.c.recoveries).cell(mp.c.recoveryP50Ns, 0)
+            .cell(mp.c.recoveryP99Ns, 0).cell(mp.c.kv.lostRequests)
+            .cell(mp.c.kv.duplicateResponses)
+            .cell(mp.availabilityPct, 2).cell(mp.c.leakedBufs)
+            .cell(mp.c.ringsLive ? 1 : 0);
+    }
+    mt.print();
+
     stats::JsonReport json("fabric_kvstore");
     json.add("throughput_vs_bandwidth", t);
     json.add("goodput_vs_loss", lt);
     json.add("chaos_recovery", ct);
+    json.add("mem_chaos", mt);
     json.add("counters_lossfree", counters_lossfree);
     json.add("timeseries_lossfree", timeseries_lossfree);
     ccn::bench::addObsSections(json);

@@ -180,7 +180,8 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
              const CcNicConfig &config, int host_socket, int nic_socket,
              sim::Rng &rng)
     : sim_(sim), mem_(mem_system), cfg_(config),
-      hostSocket_(host_socket), nicSocket_(nic_socket), runGate_(sim)
+      hostSocket_(host_socket), nicSocket_(nic_socket),
+      integrity_(mem_system), runGate_(sim)
 {
     cfg_.pool.homeSocket = host_socket;
     // Ring index arithmetic masks with entries-1, so normalize a
@@ -241,6 +242,28 @@ mem::AgentId
 CcNic::nicAgent(int q) const
 {
     return queues_[q]->nicAgent;
+}
+
+std::vector<mem::Addr>
+CcNic::faultLines() const
+{
+    // Queue 0's live descriptor lines: the host's next TX publish
+    // target is read by the device engine, the device's next RX
+    // publish target by the host's rxBurst.
+    const Queue &q = *queues_[0];
+    return {q.tx.lineOf(q.txCons), q.rx.lineOf(q.rxCons)};
+}
+
+sim::Coro<bool>
+CcNic::consumeGuard(mem::Addr line)
+{
+    if (!mem_.faultsArmed())
+        co_return true;
+    if (integrity_.staleView(line, mem::kLineBytes)) {
+        integrity_.noteReject();
+        co_return false;
+    }
+    co_return co_await integrity_.guardRange(line, mem::kLineBytes);
 }
 
 void
@@ -380,6 +403,8 @@ CcNic::reset()
                 slot.ready = false;
                 slot.meta = kRxEmpty;
                 slot.len = 0;
+                slot.gen = 0;
+                slot.csum = 0;
             }
         };
         sweep(queue.tx);
@@ -647,6 +672,7 @@ CcNic::txBurst(int q, PacketBuf **bufs, int count)
                 slot.buf = p.buf;
                 slot.len = p.buf->wireLen();
                 slot.ready = true;
+                qp->tx.stampSlot(p.idx);
                 // Stamped inside the publish (store-completion time):
                 // this is when the descriptor became visible, not
                 // when the core retired the posted store.
@@ -731,6 +757,7 @@ CcNic::flushTxBatch(int q, bool timeout_flush)
             slot.buf = e.buf;
             slot.len = e.buf->wireLen();
             slot.ready = true;
+            qp->tx.stampSlot(e.idx);
             e.buf->span.stamp(obs::SpanStage::DescPublish,
                               simp->now());
             if (shadow)
@@ -785,6 +812,11 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
     const std::uint32_t per_line = queue.rx.perLine();
     co_await sim_.delay(cycles(costs.perLoop));
 
+    // Integrity filter on the head RX line: a stale (torn/stuck)
+    // view polls as empty; a poisoned line is retried inline.
+    if (!co_await consumeGuard(queue.rx.lineOf(queue.rxCons)))
+        co_return 0;
+
     int collected = 0;
     std::vector<mem::CoherentSystem::Span> load_spans;
     std::vector<mem::CoherentSystem::Span> clear_spans;
@@ -816,11 +848,16 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
                 auto &slot = queue.rx.slot(idx);
                 if (!slot.ready)
                     break; // Publish still in flight.
+                if (!queue.rx.slotValid(idx)) {
+                    integrity_.noteReject();
+                    break; // Torn/corrupt descriptor: re-poll.
+                }
                 note_load(idx);
                 bufs[collected++] = slot.buf;
                 slot.buf = nullptr;
                 slot.ready = false;
                 slot.meta = kRxEmpty;
+                queue.rx.clearStamp(idx);
                 idx++;
             }
         } else {
@@ -830,9 +867,14 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
             while (collected < count) {
                 auto &slot = queue.rx.slot(idx);
                 if (slot.ready && slot.meta != kConsumed) {
+                    if (!queue.rx.slotValid(idx)) {
+                        integrity_.noteReject();
+                        break; // Torn/corrupt descriptor: re-poll.
+                    }
                     note_load(idx);
                     bufs[collected++] = slot.buf;
                     slot.meta = kConsumed;
+                    queue.rx.clearStamp(idx);
                     idx++;
                     continue;
                 }
@@ -902,11 +944,16 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
         std::vector<std::uint32_t> reposted;
         while (collected < count &&
                queue.rx.slot(idx).meta == kRxCompleted) {
+            if (!queue.rx.slotValid(idx)) {
+                integrity_.noteReject();
+                break; // Torn/corrupt completion: re-poll.
+            }
             note_load(idx);
             bufs[collected++] = queue.rx.slot(idx).buf;
             queue.rx.slot(idx).meta = kRxEmpty;
             queue.rx.slot(idx).buf = nullptr;
             queue.rx.slot(idx).ready = false;
+            queue.rx.clearStamp(idx);
             idx++;
         }
         if (collected > 0)
@@ -943,6 +990,7 @@ CcNic::rxBurst(int q, PacketBuf **bufs, int count)
                     auto &slot = qp->rx.slot(i);
                     slot.buf = b;
                     slot.meta = kRxPosted;
+                    qp->rx.stampSlot(i);
                 }
             };
             co_await mem_.postMulti(queue.hostAgent, post_spans,
@@ -1054,6 +1102,19 @@ CcNic::nicTxTask(int q)
             continue;
         }
 
+        // Integrity filter on the head descriptor line before
+        // trusting its content (poison retried, stale re-polled).
+        {
+            const Addr head_line = queue.tx.lineOf(queue.txCons);
+            if (!co_await consumeGuard(head_line)) {
+                queue.coreLock.release();
+                co_await mem_.waitLineChangeUntil(
+                    head_line, mem_.lineVersion(head_line),
+                    sim_.now() + cfg_.beatPeriod);
+                continue;
+            }
+        }
+
         // Gather a batch of submitted descriptors.
         struct Taken
         {
@@ -1078,9 +1139,14 @@ CcNic::nicTxTask(int q)
             while (static_cast<int>(batch.size()) < cfg_.nicBatch) {
                 auto &slot = queue.tx.slot(idx);
                 if (slot.ready && slot.meta != kConsumed) {
+                    if (!queue.tx.slotValid(idx)) {
+                        integrity_.noteReject();
+                        break; // Torn/corrupt descriptor: re-poll.
+                    }
                     note_desc(idx);
                     batch.push_back({idx, slot.buf, slot.len});
                     slot.meta = kConsumed;
+                    queue.tx.clearStamp(idx);
                     idx++;
                     continue;
                 }
@@ -1104,10 +1170,15 @@ CcNic::nicTxTask(int q)
                 auto &slot = queue.tx.slot(idx);
                 if (!slot.ready)
                     break; // Publish still in flight.
+                if (!queue.tx.slotValid(idx)) {
+                    integrity_.noteReject();
+                    break; // Torn/corrupt descriptor: re-poll.
+                }
                 note_desc(idx);
                 batch.push_back({idx, slot.buf, slot.len});
                 slot.buf = nullptr;
                 slot.ready = false;
+                queue.tx.clearStamp(idx);
                 idx++;
             }
         }
@@ -1438,6 +1509,7 @@ CcNic::nicRxTask(int q)
                         slot.buf = b;
                         slot.len = b->len;
                         slot.ready = true;
+                        qp->rx.stampSlot(slot_idx);
                     }
                     if (seal_idx != kNoSeal)
                         qp->rx.sealLine(seal_idx);
@@ -1535,6 +1607,7 @@ CcNic::nicRxTask(int q)
                         slot.len = b->len;
                         slot.meta = kRxCompleted;
                         slot.ready = true;
+                        qp->rx.stampSlot(slot_idx);
                     }
                     if (reg)
                         qp->rxTail.publish(tail_val);

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "driver/integrity.hh"
 #include "driver/mempool.hh"
 #include "driver/nic_iface.hh"
 #include "driver/ring.hh"
@@ -246,6 +247,19 @@ class CcNic : public driver::NicInterface
 
     std::size_t auditLeaks() override { return pool_->auditLeaks(); }
 
+    /// @name Datapath integrity (NicInterface overrides).
+    /// @{
+    std::uint64_t integrityRetries() const override
+    {
+        return integrity_.retries();
+    }
+    std::uint64_t integrityFaults() const override
+    {
+        return integrity_.faults();
+    }
+    std::vector<mem::Addr> faultLines() const override;
+    /// @}
+
     /** Packets that have crossed TX processing (for reports). */
     std::uint64_t txCount() const { return txCount_; }
 
@@ -380,6 +394,13 @@ class CcNic : public driver::NicInterface
     /** Deliver a TX packet to the wire. */
     void deliverTx(int q, const WirePacket &pkt);
 
+    /**
+     * Consume-side integrity filter on one descriptor line: stale
+     * (torn/stuck) views read as not-ready, poisoned lines are
+     * retried inline (bounded). True = the line may be trusted.
+     */
+    sim::Coro<bool> consumeGuard(mem::Addr line);
+
     /** Cycles-to-ticks on the given side. */
     sim::Tick
     cycles(double n) const
@@ -393,6 +414,7 @@ class CcNic : public driver::NicInterface
     int hostSocket_;
     int nicSocket_;
 
+    driver::IntegrityGuard integrity_;
     std::unique_ptr<driver::Mempool> pool_;
     std::vector<std::unique_ptr<Queue>> queues_;
     std::function<void(int, const WirePacket &)> txSink_;

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "driver/packet.hh"
 #include "mem/coherence.hh"
@@ -162,6 +163,30 @@ class NicInterface
      * pool telemetry on devices that track it.
      */
     virtual std::size_t auditLeaks() { return 0; }
+
+    // ---- Datapath integrity (memory-chaos hardening) ------------------
+
+    /**
+     * Cumulative localized integrity retries (poison re-reads, torn
+     * slot rejects). The Watchdog samples this each check and stamps
+     * the delta as escalation stage "retry".
+     */
+    virtual std::uint64_t integrityRetries() const { return 0; }
+
+    /**
+     * Cumulative persistent integrity faults (poison retry budget
+     * exhausted). A rising count tells the Watchdog the device needs
+     * a hot-reset (escalation stage 2).
+     */
+    virtual std::uint64_t integrityFaults() const { return 0; }
+
+    /**
+     * Cache lines carrying queue-0's live producer/consumer signals
+     * and descriptors — the lines a memory-fault schedule targets to
+     * hit the datapath where it hurts. Empty when the family has no
+     * coherence-resident signaling (or none worth targeting).
+     */
+    virtual std::vector<mem::Addr> faultLines() const { return {}; }
 };
 
 } // namespace ccn::driver

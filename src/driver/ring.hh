@@ -163,6 +163,22 @@ class PublishBatch
 };
 
 /**
+ * Bitwise CRC-32C (Castagnoli) over one 64-bit word, for descriptor
+ * integrity stamps. Matches the wire-FCS polynomial so the same
+ * single-bit detection guarantee holds end to end.
+ */
+inline std::uint32_t
+crc32cWord(std::uint32_t crc, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        crc ^= static_cast<std::uint8_t>(word >> (i * 8));
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1u) + 1u));
+    }
+    return crc;
+}
+
+/**
  * A descriptor ring in simulated memory.
  */
 class DescRing
@@ -175,7 +191,29 @@ class DescRing
         std::uint32_t len = 0;
         std::uint64_t meta = 0;
         bool ready = false; ///< Inline signal state.
+        /// @name Integrity stamp (hardened datapath).
+        /// @{
+        std::uint32_t gen = 0;  ///< Publication generation tag.
+        std::uint32_t csum = 0; ///< CRC-32C of fields; 0 = unstamped.
+        /// @}
     };
+
+    /**
+     * CRC-32C over a slot's logical fields (generation included).
+     * Reserves 0 as the "never stamped" sentinel.
+     */
+    static std::uint32_t
+    slotChecksum(const Slot &s)
+    {
+        std::uint32_t crc = 0xffffffffu;
+        crc = crc32cWord(
+            crc, static_cast<std::uint64_t>(
+                     reinterpret_cast<std::uintptr_t>(s.buf)));
+        crc = crc32cWord(crc, (std::uint64_t{s.len} << 32) | s.gen);
+        crc = crc32cWord(crc, s.meta);
+        crc = ~crc;
+        return crc ? crc : 1u;
+    }
 
     /**
      * Round @p n up to the next power of two (minimum 1). Index
@@ -254,6 +292,41 @@ class DescRing
         return slots_[idx & mask_];
     }
 
+    /// @name Descriptor integrity (generation tag + checksum).
+    ///
+    /// Producers stamp each slot at publication; consumers verify
+    /// before trusting the content. A verification miss means the
+    /// slot is torn, corrupt, or recycled mid-read — the consumer
+    /// rejects it and re-polls (localized retry, escalation stage 1).
+    /// @{
+
+    /** Stamp generation + checksum on slot @p idx at publication. */
+    void
+    stampSlot(std::uint32_t idx)
+    {
+        Slot &s = slots_[idx & mask_];
+        s.gen = ++genSeq_;
+        s.csum = slotChecksum(s);
+    }
+
+    /** Recompute-and-compare; false = torn/corrupt descriptor. */
+    bool
+    slotValid(std::uint32_t idx) const
+    {
+        const Slot &s = slots_[idx & mask_];
+        return s.csum != 0 && s.csum == slotChecksum(s);
+    }
+
+    /** Drop the stamp when a slot is blanked/recycled. */
+    void
+    clearStamp(std::uint32_t idx)
+    {
+        Slot &s = slots_[idx & mask_];
+        s.gen = 0;
+        s.csum = 0;
+    }
+    /// @}
+
     std::uint32_t entries() const { return entries_; }
     std::uint32_t mask() const { return mask_; }
     RingLayout layout() const { return layout_; }
@@ -305,6 +378,7 @@ class DescRing
     mem::Addr base_ = 0;
     std::vector<Slot> slots_;
     std::vector<std::uint8_t> sealed_;
+    std::uint32_t genSeq_ = 0; ///< Monotonic publication generation.
 };
 
 /**

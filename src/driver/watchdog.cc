@@ -1,5 +1,7 @@
 #include "driver/watchdog.hh"
 
+#include <algorithm>
+
 #include "obs/trace.hh"
 
 namespace ccn::driver {
@@ -24,6 +26,8 @@ Watchdog::recover()
 {
     recovering_ = true;
     const sim::Tick t0 = sim_.now();
+    stats_.escalations.at("reset")++;
+    resetTimes_.push_back(t0);
     obs::tracepoint(obs::EventKind::Custom, "watchdog.recover.begin",
                     t0, 0);
     co_await nic_.quiesce();
@@ -46,6 +50,36 @@ Watchdog::recover()
     }
     if (recoveredCb_)
         recoveredCb_(latency);
+    // Arm the reset-storm backoff: the next recovery must wait out an
+    // exponentially growing window (a healthy check clears it).
+    currentBackoff_ =
+        currentBackoff_ == 0
+            ? cfg_.backoffBase
+            : std::min(cfg_.backoffMax,
+                       static_cast<sim::Tick>(
+                           static_cast<double>(currentBackoff_) *
+                           cfg_.backoffFactor));
+    nextRecoverAllowed_ = sim_.now() + currentBackoff_;
+    recovering_ = false;
+    co_return;
+}
+
+sim::Coro<void>
+Watchdog::failover()
+{
+    failed_ = true;
+    recovering_ = true;
+    stats_.escalations.at("failover")++;
+    obs::tracepoint(obs::EventKind::Custom, "watchdog.failover",
+                    sim_.now(), resetTimes_.size());
+    // Final drain: quiesce and reset reclaim every ring-held buffer
+    // back to the pool, but the device is never reinitialized — it
+    // stays down, and operational() reads false from here on.
+    co_await nic_.quiesce();
+    co_await nic_.reset();
+    nic_.auditLeaks();
+    if (failedCb_)
+        failedCb_();
     recovering_ = false;
     co_return;
 }
@@ -57,6 +91,8 @@ Watchdog::monitorTask()
         co_await sim_.delay(cfg_.checkInterval);
         if (sim_.now() >= runUntil_)
             break;
+        if (failed_)
+            co_return; // Terminal: the device is gone for good.
         if (recovering_)
             continue;
 
@@ -67,6 +103,22 @@ Watchdog::monitorTask()
         bool failed = false;
         FailureKind kind = FailureKind::MissedHeartbeat;
 
+        // Stage-1 accounting: localized retries the IntegrityGuard
+        // already absorbed. A rising *fault* count means the retry
+        // budget was spent — escalate to a hot-reset.
+        const std::uint64_t iretries = nic_.integrityRetries();
+        if (iretries > lastIntegrityRetries_) {
+            stats_.escalations.at("retry") +=
+                iretries - lastIntegrityRetries_;
+            lastIntegrityRetries_ = iretries;
+        }
+        const std::uint64_t ifaults = nic_.integrityFaults();
+        if (ifaults > lastIntegrityFaults_) {
+            lastIntegrityFaults_ = ifaults;
+            failed = true;
+            kind = FailureKind::IntegrityFault;
+        }
+
         if (beat == lastBeat_) {
             stats_.missedBeats++;
             if (++silentChecks_ >= cfg_.missedBeats)
@@ -74,6 +126,8 @@ Watchdog::monitorTask()
         } else {
             silentChecks_ = 0;
             lastBeat_ = beat;
+            // A live heartbeat clears the reset-storm backoff ladder.
+            currentBackoff_ = 0;
         }
 
         for (int q = 0; q < nic_.numQueues(); ++q) {
@@ -105,8 +159,26 @@ Watchdog::monitorTask()
                             static_cast<std::uint64_t>(kind));
             if (failureCb_)
                 failureCb_(kind);
-            if (cfg_.autoRecover && nic_.supportsLifecycle())
+            if (cfg_.autoRecover && nic_.supportsLifecycle()) {
+                // Reset-storm backoff: a re-failure inside the window
+                // waits for the next check instead of resetting again.
+                if (sim_.now() < nextRecoverAllowed_)
+                    continue;
+                // Fail-over budget: too many resets inside the window
+                // means resetting is not fixing the device.
+                if (cfg_.resetBudget > 0) {
+                    while (!resetTimes_.empty() &&
+                           resetTimes_.front() + cfg_.budgetWindow <=
+                               sim_.now())
+                        resetTimes_.pop_front();
+                    if (static_cast<int>(resetTimes_.size()) >=
+                        cfg_.resetBudget) {
+                        co_await failover();
+                        co_return;
+                    }
+                }
                 co_await recover();
+            }
         }
     }
     co_return;

@@ -18,12 +18,29 @@
  * reinit() — and records the recovery latency. Callbacks let the
  * transport pause retransmission timers across the outage
  * (Endpoint::deviceResetBegin/Complete).
+ *
+ * Recovery escalates through three stages:
+ *
+ *  1. retry    — localized integrity retries (poison re-reads, torn
+ *                slot rejects) absorbed inside the driver's
+ *                IntegrityGuard; the watchdog samples the cumulative
+ *                count and stamps it as stage "retry".
+ *  2. reset    — quiesce/hot-reset/reinit, as before, but gated by an
+ *                exponential backoff so a device that re-fails
+ *                immediately cannot trigger a reset storm.
+ *  3. failover — more than `resetBudget` resets inside `budgetWindow`
+ *                declares the device permanently failed: one final
+ *                quiesce+reset drains the rings and reclaims buffers
+ *                (leak audit), the device stays down, and the
+ *                onDeviceFailed callback lets the transport resolve
+ *                every in-flight op cleanly.
  */
 
 #ifndef CCN_DRIVER_WATCHDOG_HH
 #define CCN_DRIVER_WATCHDOG_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -40,6 +57,7 @@ enum class FailureKind : std::uint8_t
 {
     MissedHeartbeat, ///< Device beat line stopped advancing.
     RingStall,       ///< TX head parked with descriptors outstanding.
+    IntegrityFault,  ///< Persistent datapath fault (retry budget spent).
 };
 
 /** Watchdog tuning knobs. */
@@ -49,6 +67,19 @@ struct WatchdogConfig
     int missedBeats = 3;  ///< Silent checks before declaring failure.
     int stallChecks = 4;  ///< Stalled checks before declaring failure.
     bool autoRecover = true; ///< Run quiesce/reset/reinit on failure.
+
+    /// Reset-storm guard: the first recovery is immediate, each
+    /// subsequent one waits backoffBase * backoffFactor^k (capped at
+    /// backoffMax) since the last; a healthy check clears the ladder.
+    sim::Tick backoffBase = sim::fromUs(10.0);
+    double backoffFactor = 2.0;
+    sim::Tick backoffMax = sim::fromUs(200.0);
+
+    /// Fail-over budget: more than resetBudget resets inside
+    /// budgetWindow declares the device permanently failed. 0 keeps
+    /// resetting forever (no fail-over).
+    int resetBudget = 0;
+    sim::Tick budgetWindow = sim::fromUs(500.0);
 };
 
 /** Registry-backed watchdog counters ("watchdog.*"). */
@@ -59,6 +90,10 @@ struct WatchdogStats
     obs::Counter ringStalls{"watchdog.ring_stalls"};
     obs::Counter failures{"watchdog.failures"};
     obs::Counter recoveries{"watchdog.recoveries"};
+    /// Escalation-ladder activity by stage: "retry" (localized
+    /// integrity retries), "reset" (hot-reset cycles), "failover"
+    /// (permanent device failure).
+    obs::LabeledCounter escalations{"watchdog.escalations", "stage"};
 };
 
 /**
@@ -92,6 +127,16 @@ class Watchdog
         recoveredCb_ = std::move(cb);
     }
 
+    /**
+     * Invoked once when the reset budget is exceeded and the device
+     * is declared permanently failed (after the final drain). The
+     * transport uses this to resolve every in-flight op.
+     */
+    void onDeviceFailed(std::function<void()> cb)
+    {
+        failedCb_ = std::move(cb);
+    }
+
     const WatchdogStats &stats() const { return stats_; }
 
     /** Latency of each completed recovery, in ticks. */
@@ -102,8 +147,18 @@ class Watchdog
 
     bool recovering() const { return recovering_; }
 
+    /** True once the device has been declared permanently failed. */
+    bool failed() const { return failed_; }
+
   private:
     sim::Task monitorTask();
+
+    /**
+     * Terminal stage 3: drain the rings and reclaim buffers with one
+     * final quiesce+reset, leave the device down, notify the
+     * transport. The monitor task exits afterwards.
+     */
+    sim::Coro<void> failover();
 
     sim::Simulator &sim_;
     NicInterface &nic_;
@@ -113,13 +168,23 @@ class Watchdog
 
     sim::Tick runUntil_ = 0;
     bool recovering_ = false;
+    bool failed_ = false;
     std::uint64_t lastBeat_ = 0;
     int silentChecks_ = 0;
     std::vector<std::uint64_t> lastCompleted_;
     std::vector<int> stalledChecks_;
 
+    // Escalation state: sampled integrity counters, the reset-storm
+    // backoff ladder, and the fail-over budget window.
+    std::uint64_t lastIntegrityRetries_ = 0;
+    std::uint64_t lastIntegrityFaults_ = 0;
+    sim::Tick currentBackoff_ = 0;
+    sim::Tick nextRecoverAllowed_ = 0;
+    std::deque<sim::Tick> resetTimes_;
+
     std::function<void(FailureKind)> failureCb_;
     std::function<void(sim::Tick)> recoveredCb_;
+    std::function<void()> failedCb_;
 };
 
 } // namespace ccn::driver

@@ -71,6 +71,18 @@ void
 CoherentSystem::bumpVersion(LineDir &d, Addr line, Tick when)
 {
     d.version++;
+    if (faultsArmed_) {
+        // A stuck invalidation defers the waiter wakeup past the
+        // fault window; pollers meanwhile still observe the held
+        // (stale) version via lineVersion().
+        auto st = stuck_.find(line);
+        if (st != stuck_.end()) {
+            if (st->second.until > when)
+                when = st->second.until;
+            else
+                stuck_.erase(st);
+        }
+    }
     auto it = gates_.find(line);
     if (it != gates_.end() && it->second->hasWaiters()) {
         sim::Gate *g = it->second.get();
@@ -237,6 +249,33 @@ CoherentSystem::maybePrefetch(AgentId a, Addr miss_line, Tick start)
 Tick
 CoherentSystem::walkLine(AgentId a, Addr line, bool write, Tick start,
                          bool prefetch)
+{
+    if (faultsArmed_) {
+        auto it = brownouts_.find(a);
+        if (it != brownouts_.end()) {
+            if (start >= it->second.until) {
+                brownouts_.erase(it);
+            } else {
+                const double factor = it->second.factor;
+                Tick t = walkLineProtocol(a, line, write, start,
+                                          prefetch);
+                if (t > start && factor > 1.0) {
+                    t = start + static_cast<Tick>(
+                                    static_cast<double>(t - start) *
+                                    factor);
+                    if (!prefetch)
+                        telem_.brownoutStretchedOps++;
+                }
+                return t;
+            }
+        }
+    }
+    return walkLineProtocol(a, line, write, start, prefetch);
+}
+
+Tick
+CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
+                                 Tick start, bool prefetch)
 {
     Agent &ag = agents_[a];
     const int s = ag.socket;
@@ -833,6 +872,16 @@ CoherentSystem::waitLineChangeUntil(Addr line,
                                     std::uint32_t seen_version,
                                     sim::Tick deadline)
 {
+    if (faultsArmed_) {
+        auto st = stuck_.find(lineOf(line));
+        if (st != stuck_.end() && st->second.until > sim_.now()) {
+            // Invalidation stuck: the poller's cached copy never
+            // changes, so it sleeps out the window (or its deadline).
+            co_await sim_.delayUntil(
+                std::min(deadline, st->second.until));
+            co_return;
+        }
+    }
     LineDir &d = dir_[lineOf(line)];
     if (d.version != seen_version || deadline <= sim_.now())
         co_return;
@@ -858,12 +907,27 @@ CoherentSystem::touchLine(AgentId a, Addr line)
 std::uint32_t
 CoherentSystem::lineVersion(Addr line)
 {
+    if (faultsArmed_) {
+        auto st = stuck_.find(lineOf(line));
+        if (st != stuck_.end()) {
+            if (st->second.until > sim_.now())
+                return st->second.heldVersion;
+            stuck_.erase(st);
+        }
+    }
     return dir_[lineOf(line)].version;
 }
 
 sim::Coro<void>
 CoherentSystem::waitLineChange(Addr line, std::uint32_t seen_version)
 {
+    if (faultsArmed_) {
+        auto st = stuck_.find(lineOf(line));
+        if (st != stuck_.end() && st->second.until > sim_.now()) {
+            co_await sim_.delayUntil(st->second.until);
+            co_return;
+        }
+    }
     LineDir &d = dir_[lineOf(line)];
     if (d.version != seen_version)
         co_return;
@@ -926,6 +990,109 @@ CoherentSystem::dmaRead(int socket, Addr addr, std::uint32_t bytes,
         done = std::max(done, t);
     }
     return done;
+}
+
+void
+CoherentSystem::injectPoison(Addr line, Tick hold)
+{
+    faultsArmed_ = true;
+    line = lineOf(line);
+    Tick &until = poisoned_[line];
+    until = std::max(until, sim_.now() + hold);
+    telem_.poisonInjected++;
+    obs::tracepoint(obs::EventKind::Custom, "mem.fault.poison",
+                    sim_.now(), line);
+}
+
+void
+CoherentSystem::injectTorn(Addr line, Tick hold)
+{
+    faultsArmed_ = true;
+    line = lineOf(line);
+    Tick &until = torn_[line];
+    until = std::max(until, sim_.now() + hold);
+    telem_.tornInjected++;
+    obs::tracepoint(obs::EventKind::Custom, "mem.fault.torn",
+                    sim_.now(), line);
+}
+
+void
+CoherentSystem::injectStuck(Addr line, Tick hold)
+{
+    faultsArmed_ = true;
+    line = lineOf(line);
+    StuckFault &f = stuck_[line];
+    f.until = std::max(f.until, sim_.now() + hold);
+    f.heldVersion = dir_[line].version;
+    telem_.stuckInjected++;
+    obs::tracepoint(obs::EventKind::Custom, "mem.fault.stuck",
+                    sim_.now(), line);
+}
+
+void
+CoherentSystem::injectBrownout(AgentId a, double factor, Tick hold)
+{
+    faultsArmed_ = true;
+    BrownoutFault &f = brownouts_[a];
+    f.factor = std::max(f.factor, factor);
+    f.until = std::max(f.until, sim_.now() + hold);
+    telem_.brownouts++;
+    obs::tracepoint(obs::EventKind::Custom, "mem.fault.brownout",
+                    sim_.now(), static_cast<Addr>(a));
+}
+
+bool
+CoherentSystem::rangePoisoned(Addr addr, std::uint32_t bytes)
+{
+    if (!faultsArmed_ || poisoned_.empty())
+        return false;
+    const Tick now = sim_.now();
+    const Addr first = lineOf(addr);
+    const Addr last = lineOf(addr + (bytes ? bytes - 1 : 0));
+    bool hit = false;
+    for (Addr l = first; l <= last; l += kLineBytes) {
+        auto it = poisoned_.find(l);
+        if (it == poisoned_.end())
+            continue;
+        if (it->second > now) {
+            hit = true;
+        } else {
+            poisoned_.erase(it);
+        }
+    }
+    if (hit)
+        telem_.poisonReads++;
+    return hit;
+}
+
+bool
+CoherentSystem::rangeStale(Addr addr, std::uint32_t bytes)
+{
+    if (!faultsArmed_ || (torn_.empty() && stuck_.empty()))
+        return false;
+    const Tick now = sim_.now();
+    const Addr first = lineOf(addr);
+    const Addr last = lineOf(addr + (bytes ? bytes - 1 : 0));
+    bool stale = false;
+    for (Addr l = first; l <= last; l += kLineBytes) {
+        auto it = torn_.find(l);
+        if (it != torn_.end()) {
+            if (it->second > now) {
+                stale = true;
+                telem_.tornStaleReads++;
+            } else {
+                torn_.erase(it);
+            }
+        }
+        auto st = stuck_.find(l);
+        if (st != stuck_.end()) {
+            if (st->second.until > now)
+                stale = true;
+            else
+                stuck_.erase(st);
+        }
+    }
+    return stale;
 }
 
 void

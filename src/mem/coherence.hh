@@ -65,6 +65,24 @@ struct CoherenceTelemetry
         "mem.invalidations"}; ///< Copies killed by writes/DDIO.
     obs::Counter ddioWrites{
         "mem.ddio_writes"};   ///< Device lines allocated into LLC.
+
+    /// @name Fault-injection telemetry (memory chaos).
+    /// @{
+    obs::Counter poisonInjected{
+        "mem.poison_injected"};   ///< Lines poisoned by the harness.
+    obs::Counter poisonReads{
+        "mem.poison_reads"};      ///< Reads that observed poison.
+    obs::Counter tornInjected{
+        "mem.torn_injected"};     ///< Torn-visibility windows opened.
+    obs::Counter tornStaleReads{
+        "mem.torn_stale_reads"};  ///< Reads that saw a torn line.
+    obs::Counter stuckInjected{
+        "mem.stuck_injected"};    ///< Stuck-invalidation windows.
+    obs::Counter brownouts{
+        "mem.brownouts"};         ///< Brownout windows opened.
+    obs::Counter brownoutStretchedOps{
+        "mem.brownout_stretched_ops"}; ///< Ops stretched by brownouts.
+    /// @}
 };
 
 /** Per-agent access statistics (offcore-response-style counters). */
@@ -186,6 +204,56 @@ class CoherentSystem
                                         sim::Tick deadline);
     /// @}
 
+    /// @name Fault injection (memory-chaos harness; §RAS).
+    /// Seeded schedules (workload::ChaosSchedule) call the inject
+    /// methods; hardened drivers consult the range queries before
+    /// trusting descriptor contents. All checks behind a single
+    /// armed flag so an un-chaosed run pays one predictable branch.
+    /// @{
+    /**
+     * Poison @p line (CXL-style): any read of the line within the
+     * next @p hold ticks observes a poison indication instead of
+     * data. Clears itself when the window expires.
+     */
+    void injectPoison(Addr line, sim::Tick hold);
+
+    /**
+     * Torn visibility: @p line appears published but carries stale
+     * content for @p hold ticks — a consumer that validates
+     * (generation/checksum) must reject it until the window closes.
+     */
+    void injectTorn(Addr line, sim::Tick hold);
+
+    /**
+     * Stuck line: the invalidation/notification for @p line is
+     * delayed by @p hold ticks. Pollers keep observing the stale
+     * version; gate wakeups are deferred past the window.
+     */
+    void injectStuck(Addr line, sim::Tick hold);
+
+    /**
+     * Interconnect brownout: every coherence op issued by agent
+     * @p a is stretched by @p factor for the next @p hold ticks.
+     */
+    void injectBrownout(AgentId a, double factor, sim::Tick hold);
+
+    /**
+     * True if a read of [addr, addr+bytes) would observe poison
+     * right now. Counts the observation (mem.poison_reads).
+     */
+    bool rangePoisoned(Addr addr, std::uint32_t bytes);
+
+    /**
+     * True if [addr, addr+bytes) currently presents a stale view
+     * (torn content or a stuck invalidation). Hardened consumers
+     * treat such slots as not-yet-ready.
+     */
+    bool rangeStale(Addr addr, std::uint32_t bytes);
+
+    /** Any fault primitive ever armed on this system. */
+    bool faultsArmed() const { return faultsArmed_; }
+    /// @}
+
     /// @name Device-side (PCIe DMA / DDIO) paths.
     /// These are used by the PCIe model; they interact with coherence
     /// (invalidation, LLC allocation) but are initiated by the IIO
@@ -300,9 +368,16 @@ class CoherentSystem
         sim::Tick writeBusyUntil = 0;
     };
 
-    /** Internal result of a single-line protocol walk. */
+    /**
+     * Single-line access entry point: applies an active brownout
+     * stretch around the protocol walk when faults are armed.
+     */
     sim::Tick walkLine(AgentId a, Addr line, bool write, sim::Tick start,
                        bool prefetch);
+
+    /** Internal result of a single-line protocol walk. */
+    sim::Tick walkLineProtocol(AgentId a, Addr line, bool write,
+                               sim::Tick start, bool prefetch);
 
     /** Write-completion bookkeeping: version bump + waiter wakeup. */
     void bumpVersion(LineDir &d, Addr line, sim::Tick when);
@@ -359,6 +434,26 @@ class CoherentSystem
 
     std::unordered_map<Addr, LineDir> dir_;
     std::unordered_map<Addr, std::unique_ptr<sim::Gate>> gates_;
+
+    // ---- Fault-injection state (empty and unchecked until armed) ----
+    /** A stuck invalidation: version held stale until the window ends. */
+    struct StuckFault
+    {
+        sim::Tick until = 0;
+        std::uint32_t heldVersion = 0;
+    };
+    /** An agent brownout: ops stretched by factor until the window ends. */
+    struct BrownoutFault
+    {
+        double factor = 1.0;
+        sim::Tick until = 0;
+    };
+
+    bool faultsArmed_ = false;
+    std::unordered_map<Addr, sim::Tick> poisoned_; ///< line -> clear tick
+    std::unordered_map<Addr, sim::Tick> torn_;     ///< line -> heal tick
+    std::unordered_map<Addr, StuckFault> stuck_;
+    std::unordered_map<AgentId, BrownoutFault> brownouts_;
 };
 
 } // namespace ccn::mem

@@ -107,7 +107,8 @@ PcieNic::PcieNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
       hostSocket_(host_socket),
       costs_(pcieDriverCosts(mem_system.config())),
       link_(sim, params.pcie, mem_system, host_socket),
-      pipeline_(sim, params.pipelinePps), runGate_(sim)
+      integrity_(mem_system), pipeline_(sim, params.pipelinePps),
+      runGate_(sim)
 {
     devBeatLine_ =
         mem_.alloc(host_socket, mem::kLineBytes, mem::kLineBytes);
@@ -248,6 +249,8 @@ PcieNic::reset()
             slot.ready = false;
             slot.meta = kRxEmpty;
             slot.len = 0;
+            slot.gen = 0;
+            slot.csum = 0;
         }
         for (std::uint32_t i = 0; i < queue.tx.entries(); ++i) {
             auto &slot = queue.tx.slot(i);
@@ -255,6 +258,8 @@ PcieNic::reset()
             slot.ready = false;
             slot.meta = 0;
             slot.len = 0;
+            slot.gen = 0;
+            slot.csum = 0;
         }
         if (!frees.empty()) {
             co_await pool_->freeBurst(queue.hostAgent, frees.data(),
@@ -299,6 +304,28 @@ mem::AgentId
 PcieNic::hostAgent(int q) const
 {
     return queues_[q]->hostAgent;
+}
+
+std::vector<mem::Addr>
+PcieNic::faultLines() const
+{
+    // Queue-0's live host-memory descriptor lines: where the device is
+    // fetching TX descriptors and where the host is polling RX
+    // completions.
+    const Queue &q = *queues_[0];
+    return {q.tx.lineOf(q.devTxCons), q.rx.lineOf(q.rxCons)};
+}
+
+sim::Coro<bool>
+PcieNic::consumeGuard(mem::Addr line)
+{
+    if (!mem_.faultsArmed())
+        co_return true;
+    if (integrity_.staleView(line, mem::kLineBytes)) {
+        integrity_.noteReject();
+        co_return false;
+    }
+    co_return co_await integrity_.guardRange(line, mem::kLineBytes);
 }
 
 void
@@ -432,6 +459,7 @@ PcieNic::txBurst(int q, PacketBuf **bufs, int count)
                 slot.buf = p.buf;
                 slot.len = p.buf->wireLen();
                 slot.ready = true;
+                qp->tx.stampSlot(p.idx);
                 qp->txShadow[p.idx & qp->tx.mask()] = p.buf;
                 p.buf->span.stamp(obs::SpanStage::DescPublish,
                                   simp->now());
@@ -531,6 +559,11 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
     Queue &queue = *queues_[q];
     co_await sim_.delay(mem_.config().cycles(costs_.perLoop));
 
+    // Integrity gate: a poisoned or stale completion line must not be
+    // trusted; retry on the next poll (transport covers any delay).
+    if (!co_await consumeGuard(queue.rx.lineOf(queue.rxCons)))
+        co_return 0;
+
     // Poll completion descriptors (DD bits) in host memory; DDIO makes
     // these LLC hits.
     int collected = 0;
@@ -539,12 +572,17 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
     while (collected < count &&
            queue.rx.slot(queue.rxCons).meta == kRxCompleted) {
         auto &slot = queue.rx.slot(queue.rxCons);
+        if (!queue.rx.slotValid(queue.rxCons)) {
+            integrity_.noteReject();
+            break; // Torn completion: re-poll after the store lands.
+        }
         const Addr l = queue.rx.lineOf(queue.rxCons);
         if (l != last_line) {
             load_spans.push_back({l, mem::kLineBytes});
             last_line = l;
         }
         bufs[collected++] = slot.buf;
+        queue.rx.clearStamp(queue.rxCons);
         slot.meta = kRxEmpty;
         slot.buf = nullptr;
         queue.rxCons++;
@@ -592,6 +630,7 @@ PcieNic::rxBurst(int q, PacketBuf **bufs, int count)
                 auto &slot = qp->rx.slot(i);
                 slot.buf = b;
                 slot.meta = kRxPosted;
+                qp->rx.stampSlot(i);
             }
         };
         co_await mem_.postMulti(queue.hostAgent, post_spans,
@@ -647,9 +686,35 @@ PcieNic::devTxEngine(int q)
                 if (t2 - queue.devTxCons <= kRingEntries)
                     queue.devTxTail = t2;
             }
-            const std::uint32_t n = std::min<std::uint32_t>(
+            std::uint32_t n = std::min<std::uint32_t>(
                 static_cast<std::uint32_t>(params_.descFetchBatch),
                 queue.devTxTail - queue.devTxCons);
+
+            // Integrity gate on the descriptor line the fetch starts
+            // at: absorb transient poison with bounded retries, back
+            // off on a stale (torn/stuck) view.
+            if (!co_await consumeGuard(
+                    queue.tx.lineOf(queue.devTxCons))) {
+                co_await sim_.delay(sim::fromNs(200.0));
+                continue;
+            }
+
+            // Verify per-slot generation stamps before trusting the
+            // fetched descriptors; a torn store is retried next pass.
+            {
+                std::uint32_t ok = 0;
+                while (ok < n &&
+                       queue.tx.slotValid(queue.devTxCons + ok))
+                    ok++;
+                if (ok < n) {
+                    integrity_.noteReject();
+                    if (ok == 0) {
+                        co_await sim_.delay(sim::fromNs(200.0));
+                        continue;
+                    }
+                    n = ok;
+                }
+            }
 
             // Descriptor fetch: CX6 inlines small bursts into the
             // doorbell write, skipping the fetch roundtrip.
@@ -665,6 +730,7 @@ PcieNic::devTxEngine(int q)
             std::vector<WirePacket> pkts;
             for (std::uint32_t i = 0; i < n; ++i) {
                 auto &slot = queue.tx.slot(queue.devTxCons + i);
+                queue.tx.clearStamp(queue.devTxCons + i);
                 PacketBuf *b = slot.buf;
                 if (!b)
                     continue;
@@ -752,6 +818,10 @@ PcieNic::devRxEngine(int q)
             auto &slot = queue.rx.slot(queue.devRxPostCons);
             if (slot.meta != kRxPosted)
                 break;
+            if (!queue.rx.slotValid(queue.devRxPostCons)) {
+                integrity_.noteReject();
+                break; // Torn post: host repost completes it later.
+            }
             PacketBuf *b = slot.buf;
             spans.push_back({b->addr, std::max<std::uint32_t>(
                                           batch[i].len, 1)});
@@ -779,6 +849,7 @@ PcieNic::devRxEngine(int q)
             slot.len = b->len;
             slot.meta = kRxCompleted;
             slot.ready = true;
+            queue.rx.stampSlot(idx);
         }
     }
 }

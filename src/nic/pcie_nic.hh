@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ccnic/ccnic.hh"
+#include "driver/integrity.hh"
 #include "driver/mempool.hh"
 #include "driver/nic_iface.hh"
 #include "driver/ring.hh"
@@ -157,6 +158,19 @@ class PcieNic : public driver::NicInterface
 
     std::size_t auditLeaks() override { return pool_->auditLeaks(); }
 
+    /// @name Datapath integrity (NicInterface overrides).
+    /// @{
+    std::uint64_t integrityRetries() const override
+    {
+        return integrity_.retries();
+    }
+    std::uint64_t integrityFaults() const override
+    {
+        return integrity_.faults();
+    }
+    std::vector<mem::Addr> faultLines() const override;
+    /// @}
+
     /** RX packets discarded on FCS mismatch (corrupted on the wire). */
     std::uint64_t rxCrcDrops() const { return rxCrcDrops_; }
 
@@ -253,6 +267,13 @@ class PcieNic : public driver::NicInterface
 
     void deliverTx(int q, const WirePacket &pkt);
 
+    /**
+     * Gate a host-side descriptor consume on line @p line: reject a
+     * stale (torn/stuck) view outright and absorb transient poison
+     * with the bounded retry loop.
+     */
+    sim::Coro<bool> consumeGuard(mem::Addr line);
+
     sim::Simulator &sim_;
     mem::CoherentSystem &mem_;
     NicParams params_;
@@ -260,6 +281,7 @@ class PcieNic : public driver::NicInterface
     driver::CpuCosts costs_;
 
     pcie::PcieLink link_;
+    driver::IntegrityGuard integrity_;
     sim::CalendarResource pipeline_;
     std::unique_ptr<driver::Mempool> pool_;
     std::vector<std::unique_ptr<Queue>> queues_;

@@ -101,7 +101,8 @@ PioNic::PioNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
                const Config &config, int host_socket, int nic_socket,
                sim::Rng &rng)
     : sim_(sim), mem_(mem_system), cfg_(config),
-      hostSocket_(host_socket), nicSocket_(nic_socket), runGate_(sim)
+      hostSocket_(host_socket), nicSocket_(nic_socket),
+      integrity_(mem_system), runGate_(sim)
 {
     cfg_.pool.homeSocket = host_socket;
     // Slot index arithmetic masks with numSlots-1.
@@ -164,6 +165,27 @@ mem::AgentId
 PioNic::nicAgent(int q) const
 {
     return queues_[q]->nicAgent;
+}
+
+std::vector<mem::Addr>
+PioNic::faultLines() const
+{
+    // Queue-0's live slot lines: the device's TX consumer slot and
+    // the host's RX consumer slot.
+    const Queue &q = *queues_[0];
+    return {txLineOf(q, q.txCons), rxLineOf(q, q.rxCons)};
+}
+
+sim::Coro<bool>
+PioNic::consumeGuard(mem::Addr line)
+{
+    if (!mem_.faultsArmed())
+        co_return true;
+    if (integrity_.staleView(line, slotBytes())) {
+        integrity_.noteReject();
+        co_return false;
+    }
+    co_return co_await integrity_.guardRange(line, slotBytes());
 }
 
 void
@@ -291,6 +313,7 @@ PioNic::reset()
                 }
                 s.spill = nullptr;
                 s.msg = WirePacket{};
+                s.seq = 0;
                 s.state = SlotState::Free;
             }
         };
@@ -314,6 +337,8 @@ PioNic::reset()
 
         queue.txProd = queue.txCons = 0;
         queue.rxProd = queue.rxCons = 0;
+        queue.txSeq = queue.txSeqSeen = 0;
+        queue.rxSeq = queue.rxSeqSeen = 0;
     }
     pool_->auditLeaks();
     resetReclaimed_ += reclaimed;
@@ -439,6 +464,7 @@ PioNic::txBurst(int q, PacketBuf **bufs, int count)
                 s.msg.span.stamp(obs::SpanStage::DescPublish,
                                  simp->now());
                 s.spill = p.spill;
+                s.seq = ++qp->txSeq;
                 s.state = SlotState::Ready;
             }
         };
@@ -479,6 +505,14 @@ PioNic::devTxTask(int q)
         noteSlotPoll(queue, line);
         co_await mem_.load(queue.nicAgent, line, slotBytes());
         co_await devPortDelay();
+        // Integrity gate: a poisoned or stale (torn/stuck) slot line
+        // must not be trusted; park until it heals or the beat expires.
+        if (!co_await consumeGuard(line)) {
+            co_await mem_.waitLineChangeUntil(
+                line, mem_.lineVersion(line),
+                sim_.now() + cfg_.beatPeriod);
+            continue;
+        }
         if (txSlot(queue, queue.txCons).state != SlotState::Ready) {
             co_await mem_.waitLineChangeUntil(
                 line, mem_.lineVersion(line),
@@ -516,6 +550,11 @@ PioNic::devTxTask(int q)
             MsgSlot &s = txSlot(queue, idx);
             if (s.state != SlotState::Ready)
                 break;
+            if (s.seq != queue.txSeqSeen + 1) {
+                integrity_.noteReject();
+                break; // Torn publish: re-poll after the store lands.
+            }
+            queue.txSeqSeen = s.seq;
             s.msg.span.stamp(obs::SpanStage::NicObserve, sim_.now());
             batch.push_back({idx, s.msg, s.spill});
             s.state = SlotState::Taken;
@@ -723,6 +762,7 @@ PioNic::devRxTask(int q)
                     s.msg.span.stamp(obs::SpanStage::RxPublish,
                                      simp->now());
                     s.spill = p.spill;
+                    s.seq = ++qp->rxSeq;
                     s.state = SlotState::Ready;
                 }
             };
@@ -833,6 +873,11 @@ PioNic::rxBurst(int q, PacketBuf **bufs, int count)
     const auto &costs = cfg_.hostCosts;
     co_await sim_.delay(cycles(costs.perLoop));
 
+    // Integrity gate on the consumer slot line: a poisoned or stale
+    // view must not be trusted; retry on the next poll.
+    if (!co_await consumeGuard(rxLineOf(queue, queue.rxCons)))
+        co_return 0;
+
     // Gather Ready slots (local spin: no charge while nothing new).
     struct Got
     {
@@ -846,6 +891,11 @@ PioNic::rxBurst(int q, PacketBuf **bufs, int count)
         MsgSlot &s = rxSlot(queue, idx);
         if (s.state != SlotState::Ready)
             break;
+        if (s.seq != queue.rxSeqSeen +
+                         static_cast<std::uint32_t>(got.size()) + 1) {
+            integrity_.noteReject();
+            break; // Torn publish: re-poll after the store lands.
+        }
         got.push_back({idx, s.msg, s.spill});
         idx++;
     }
@@ -916,6 +966,7 @@ PioNic::rxBurst(int q, PacketBuf **bufs, int count)
         bufs[i] = b;
     }
     queue.rxCons = idx;
+    queue.rxSeqSeen += static_cast<std::uint32_t>(got.size());
 
     co_await mem_.accessMulti(queue.hostAgent, spans, false);
     if (!copy_spans.empty())

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "ccnic/ccnic.hh"
+#include "driver/integrity.hh"
 #include "driver/mempool.hh"
 #include "driver/nic_iface.hh"
 #include "driver/ring.hh"
@@ -225,6 +226,19 @@ class PioNic : public driver::NicInterface
 
     std::size_t auditLeaks() override { return pool_->auditLeaks(); }
 
+    /// @name Datapath integrity (NicInterface overrides).
+    /// @{
+    std::uint64_t integrityRetries() const override
+    {
+        return integrity_.retries();
+    }
+    std::uint64_t integrityFaults() const override
+    {
+        return integrity_.faults();
+    }
+    std::vector<mem::Addr> faultLines() const override;
+    /// @}
+
     /** Packets that have crossed TX processing (for reports). */
     std::uint64_t txCount() const { return txCount_; }
 
@@ -256,6 +270,7 @@ class PioNic : public driver::NicInterface
     struct MsgSlot
     {
         SlotState state = SlotState::Free;
+        std::uint32_t seq = 0; ///< Publish sequence stamp (0 = blank).
         WirePacket msg;                      ///< Inline message contents.
         driver::PacketBuf *spill = nullptr;  ///< Oversized-frame payload.
     };
@@ -278,6 +293,15 @@ class PioNic : public driver::NicInterface
         std::uint32_t txCons = 0; ///< Device.
         std::uint32_t rxProd = 0; ///< Device.
         std::uint32_t rxCons = 0; ///< Host.
+
+        // Publish-sequence counters: each published slot carries the
+        // producer's next sequence number; the consumer verifies
+        // continuity before trusting slot contents (a torn publish
+        // shows a Ready state word with a stale sequence).
+        std::uint32_t txSeq = 0;     ///< Host-stamped TX publishes.
+        std::uint32_t txSeqSeen = 0; ///< Device-verified TX consumes.
+        std::uint32_t rxSeq = 0;     ///< Device-stamped RX publishes.
+        std::uint32_t rxSeqSeen = 0; ///< Host-verified RX reaps.
 
         sim::Mailbox<WirePacket> rxInput;
         sim::Semaphore coreLock; ///< One device core serves both tasks.
@@ -398,6 +422,13 @@ class PioNic : public driver::NicInterface
     /** Deliver a TX packet to the wire. */
     void deliverTx(int q, const WirePacket &pkt);
 
+    /**
+     * Gate a slot consume on line @p line: reject a stale
+     * (torn/stuck) view and absorb transient poison with the bounded
+     * retry loop.
+     */
+    sim::Coro<bool> consumeGuard(mem::Addr line);
+
     sim::Tick
     cycles(double n) const
     {
@@ -409,6 +440,7 @@ class PioNic : public driver::NicInterface
     Config cfg_;
     int hostSocket_;
     int nicSocket_;
+    driver::IntegrityGuard integrity_;
     std::uint32_t slotMask_ = 0;
 
     std::unique_ptr<driver::Mempool> pool_;

@@ -87,6 +87,15 @@ struct FaultSpec
     double flapDownUs = 5.0;
     int lossBursts = 2;
     int burstDrops = 4;
+
+    // Memory-chaos events against the target host's memory agent
+    // (coherence-layer fault injection; 0 = none).
+    int poisons = 0;      ///< Line-poison events on datapath lines.
+    int torns = 0;        ///< Torn-visibility windows.
+    int stuckLines = 0;   ///< Stuck-invalidation windows.
+    int brownouts = 0;    ///< Interconnect brownouts.
+    double brownoutFactor = 4.0; ///< Coherence-op stretch factor.
+
     int line = 0, col = 0;
 };
 

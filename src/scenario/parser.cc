@@ -335,6 +335,20 @@ class Parser
             else if (p.text == "burst_drops")
                 f.burstDrops = static_cast<int>(
                     numberIn("burst_drops", 0, 1e4));
+            else if (p.text == "poison")
+                f.poisons = static_cast<int>(
+                    numberIn("poison", 0, 1e4));
+            else if (p.text == "torn")
+                f.torns = static_cast<int>(numberIn("torn", 0, 1e4));
+            else if (p.text == "stuck_line")
+                f.stuckLines = static_cast<int>(
+                    numberIn("stuck_line", 0, 1e4));
+            else if (p.text == "brownout")
+                f.brownouts = static_cast<int>(
+                    numberIn("brownout", 0, 1e4));
+            else if (p.text == "brownout_factor")
+                f.brownoutFactor =
+                    numberIn("brownout_factor", 1, 1e3);
             else
                 fail(p, "unknown keyword '" + p.text +
                             "' in faults block");
@@ -483,12 +497,15 @@ class Parser
                     file_, f.line, f.col,
                     "faults require a reliable kv workload (chaos "
                     "recovery rides the transport)");
-            if (f.target != spec.workload.client)
+            if (f.target != spec.workload.client &&
+                f.target != spec.workload.server)
                 throw ScenarioError(
                     file_, f.line, f.col,
-                    "fault target must be the workload client host "
-                    "(the chaos harness wedges the client NIC and "
-                    "flaps its links)");
+                    "fault target '" + f.target +
+                        "' is not a workload host (declared hosts "
+                        "in this workload: server '" +
+                        spec.workload.server + "', client '" +
+                        spec.workload.client + "')");
         }
         if (spec.replay.present) {
             const ReplaySpec &r = spec.replay;

@@ -27,8 +27,9 @@
  *                 | "drain_us" | "min_rto_us" | "seed" ) number ";" ;
  *   fault-prop  = "target" ident ";"
  *               | ( "seed" | "nic_wedges" | "link_flaps"
- *                 | "flap_down_us" | "loss_bursts" | "burst_drops" )
- *                 number ";" ;
+ *                 | "flap_down_us" | "loss_bursts" | "burst_drops"
+ *                 | "poison" | "torn" | "stuck_line" | "brownout"
+ *                 | "brownout_factor" ) number ";" ;
  *   replay-prop = "trace" string ";"
  *               | ( "server" | "client" ) ident ";"
  *               | "pacing" ( "recorded" | "max" ) ";"

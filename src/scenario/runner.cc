@@ -335,6 +335,13 @@ runKv(const ScenarioSpec &spec, FabricRun &run, ScenarioOutcome &out)
         chaos.flapDown = sim::fromUs(spec.faults.flapDownUs);
         chaos.lossBursts = spec.faults.lossBursts;
         chaos.burstDrops = spec.faults.burstDrops;
+        chaos.poisons = spec.faults.poisons;
+        chaos.torns = spec.faults.torns;
+        chaos.stuckLines = spec.faults.stuckLines;
+        chaos.brownouts = spec.faults.brownouts;
+        chaos.brownoutFactor = spec.faults.brownoutFactor;
+        chaos.targetServer =
+            spec.faults.target == spec.workload.server;
         out.chaos = workload::runKvClientServerChaos(
             run.simv, server.system, *server.nic, client.system,
             *client.nic, run.fabric, server_addr,
@@ -389,6 +396,14 @@ runKv(const ScenarioSpec &spec, FabricRun &run, ScenarioOutcome &out)
             .cell(c.recoveryP99Ns, 0).cell(c.recoveryMaxNs, 0)
             .cell(c.leakedBufs).cell(c.ringsLive ? 1 : 0);
         out.json.add("chaos", ct);
+        stats::Table mt({"poisons", "torns", "stuck_lines",
+                         "brownouts", "integrity_retries",
+                         "integrity_faults", "device_failed"});
+        mt.row().cell(c.poisonsInjected).cell(c.tornsInjected)
+            .cell(c.stucksInjected).cell(c.brownoutsInjected)
+            .cell(c.integrityRetries).cell(c.integrityFaults)
+            .cell(c.deviceFailed ? 1 : 0);
+        out.json.add("mem_chaos", mt);
     }
 }
 
@@ -471,7 +486,7 @@ runScenario(const ScenarioSpec &spec, bool quiet)
         // Re-print the results table to stdout for interactive runs.
         for (const auto &[section, table] : out.json.sections()) {
             if (section == "results" || section == "chaos" ||
-                section == "ports") {
+                section == "mem_chaos" || section == "ports") {
                 stats::banner(section);
                 table.print();
             }

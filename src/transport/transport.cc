@@ -555,6 +555,28 @@ Endpoint::deviceResetComplete()
     sim_.spawn(resyncTask());
 }
 
+void
+Endpoint::deviceFailed()
+{
+    stats_.deviceFailovers++;
+    obs::tracepoint(obs::EventKind::Custom, "transport.device_failed",
+                    sim_.now(), 0);
+    for (const auto &c : conns_) {
+        if (c->state_ == Connection::State::Error)
+            continue;
+        c->state_ = Connection::State::Error;
+        c->recovering_ = false;
+        c->rtxDeadline_ = sim::kTickMax;
+        stats_.aborts++;
+        obs::tracepoint(obs::EventKind::TransportAbort, "device_failed",
+                        sim_.now(), c->localId_);
+        // Wake every parked caller: send() returns false, recv()
+        // drains whatever arrived in order and then returns false.
+        c->sendGate_.notifyAll();
+        c->rxGate_.notifyAll();
+    }
+}
+
 sim::Task
 Endpoint::resyncTask()
 {

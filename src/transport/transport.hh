@@ -148,6 +148,9 @@ struct TransportStats
                                                     ///< resync after a reset
                                                     ///< (not retransmits: the
                                                     ///< loss was local).
+    obs::Counter deviceFailovers{
+        "transport.device_failovers"};              ///< Permanent local NIC
+                                                    ///< failures surfaced.
 
     /// Per-connection retransmit breakdown
     /// ("transport.retransmits_total{conn=N}", timeout + fast
@@ -316,6 +319,16 @@ class Endpoint
 
     /** Device recovered: spawn the resync task. */
     void deviceResetComplete();
+
+    /**
+     * Local device permanently failed (Watchdog stage-3 fail-over):
+     * every connection is errored so blocked send()/recv() callers
+     * resolve immediately instead of hanging on a device that will
+     * never carry another packet. Already-received in-order segments
+     * stay in the receive queue and drain normally, so completed work
+     * is delivered exactly once.
+     */
+    void deviceFailed();
     /// @}
 
     const TransportStats &stats() const { return stats_; }

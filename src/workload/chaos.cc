@@ -35,6 +35,10 @@ ChaosSchedule::ChaosSchedule(sim::Simulator &sim,
     place(cfg_.nicWedges, ChaosKind::NicWedge);
     place(cfg_.linkFlaps, ChaosKind::LinkFlap);
     place(cfg_.lossBursts, ChaosKind::LossBurst);
+    place(cfg_.poisons, ChaosKind::MemPoison);
+    place(cfg_.torns, ChaosKind::MemTorn);
+    place(cfg_.stuckLines, ChaosKind::MemStuck);
+    place(cfg_.brownouts, ChaosKind::MemBrownout);
     std::sort(events_.begin(), events_.end(),
               [](const Event &a, const Event &b) {
                   return a.at < b.at;
@@ -105,6 +109,47 @@ ChaosSchedule::replayTask(Tick run_until)
             obs::tracepoint(obs::EventKind::Custom, "chaos.burst",
                             sim_.now(), bursts_.value());
             break;
+
+        case ChaosKind::MemPoison:
+            if (!hooks_.poison)
+                break;
+            hooks_.poison(cfg_.poisonHold);
+            poisons_++;
+            obs::tracepoint(obs::EventKind::Custom, "chaos.mem_poison",
+                            sim_.now(), poisons_.value());
+            break;
+
+        case ChaosKind::MemTorn:
+            if (!hooks_.torn)
+                break;
+            hooks_.torn(cfg_.tornHold);
+            torns_++;
+            obs::tracepoint(obs::EventKind::Custom, "chaos.mem_torn",
+                            sim_.now(), torns_.value());
+            break;
+
+        case ChaosKind::MemStuck:
+            if (!hooks_.stuck)
+                break;
+            // A stuck line behaves like a wedge — the ring stalls
+            // until the Watchdog hot-resets — so it starts the
+            // recovery-latency clock the same way.
+            lastWedgeAt_ = sim_.now();
+            hooks_.stuck(cfg_.stuckHold);
+            stucks_++;
+            obs::tracepoint(obs::EventKind::Custom, "chaos.mem_stuck",
+                            sim_.now(), stucks_.value());
+            break;
+
+        case ChaosKind::MemBrownout:
+            if (!hooks_.brownout)
+                break;
+            hooks_.brownout(cfg_.brownoutFactor, cfg_.brownoutHold);
+            brownouts_++;
+            obs::tracepoint(obs::EventKind::Custom,
+                            "chaos.mem_brownout", sim_.now(),
+                            brownouts_.value());
+            break;
         }
     }
     co_return;
@@ -112,15 +157,25 @@ ChaosSchedule::replayTask(Tick run_until)
 
 namespace {
 
-/** Full lifecycle cycle used as the end-of-run teardown audit. */
+/** Quiesce+reset half of the teardown audit; leaves the device Down
+ *  so the leak audit runs with every engine parked. */
 sim::Task
-lifecycleCycle(driver::NicInterface &nic, bool *done)
+teardownSweep(driver::NicInterface &nic, bool *done)
 {
     if (nic.supportsLifecycle()) {
         co_await nic.quiesce();
         co_await nic.reset();
-        co_await nic.reinit();
     }
+    *done = true;
+    co_return;
+}
+
+/** Revive half: bring the swept device back for liveness checks. */
+sim::Task
+teardownRevive(driver::NicInterface &nic, bool *done)
+{
+    if (nic.supportsLifecycle())
+        co_await nic.reinit();
     *done = true;
     co_return;
 }
@@ -150,20 +205,60 @@ runKvClientServerChaos(sim::Simulator &sim,
     transport::Endpoint client_ep(sim, client_mem, client_nic,
                                   cfg.tp, "client");
 
+    // The schedule, the Watchdog and the reset notifications all aim
+    // at one host's NIC and memory agent — client by default, server
+    // under targetServer (any declared host may be the fault target).
+    driver::NicInterface &target_nic =
+        ccfg.targetServer ? server_nic : client_nic;
+    mem::CoherentSystem &target_mem =
+        ccfg.targetServer ? server_mem : client_mem;
+    transport::Endpoint &target_ep =
+        ccfg.targetServer ? server_ep : client_ep;
+    const std::uint32_t target_addr =
+        ccfg.targetServer ? server_addr : client_addr;
+
     ChaosHooks hooks;
-    hooks.wedge = [&client_nic] { client_nic.wedge(); };
-    hooks.uplink = &fabric.uplinkOf(client_addr);
-    hooks.downlink = &fabric.downlinkOf(client_addr);
+    hooks.wedge = [&target_nic] { target_nic.wedge(); };
+    hooks.uplink = &fabric.uplinkOf(target_addr);
+    hooks.downlink = &fabric.downlinkOf(target_addr);
+    // Memory-chaos injectors land on the NIC's live datapath lines,
+    // re-queried at fire time so they always hit the lines currently
+    // carrying producer/consumer signals.
+    hooks.poison = [&target_mem, &target_nic](Tick hold) {
+        for (const mem::Addr a : target_nic.faultLines())
+            target_mem.injectPoison(a, hold);
+    };
+    hooks.torn = [&target_mem, &target_nic](Tick hold) {
+        for (const mem::Addr a : target_nic.faultLines())
+            target_mem.injectTorn(a, hold);
+    };
+    hooks.stuck = [&target_mem, &target_nic](Tick hold) {
+        for (const mem::Addr a : target_nic.faultLines())
+            target_mem.injectStuck(a, hold);
+    };
+    hooks.brownout = [&target_mem, &target_nic](double factor,
+                                                Tick hold) {
+        target_mem.injectBrownout(target_nic.hostAgent(0), factor,
+                                  hold);
+    };
     ChaosSchedule chaos(sim, ccfg, std::move(hooks));
 
-    driver::Watchdog wd(sim, client_nic, wd_cfg);
-    wd.onFailure([&client_ep](driver::FailureKind) {
-        client_ep.deviceResetBegin();
+    driver::Watchdog wd(sim, target_nic, wd_cfg);
+    wd.onFailure([&target_ep](driver::FailureKind) {
+        target_ep.deviceResetBegin();
     });
-    wd.onRecovered([&client_ep, &chaos](Tick) {
-        client_ep.deviceResetComplete();
-        chaos.noteRecovered();
-    });
+    const bool permanent_wedge = ccfg.permanentWedge;
+    wd.onRecovered(
+        [&target_ep, &target_nic, &chaos, permanent_wedge](Tick) {
+            target_ep.deviceResetComplete();
+            chaos.noteRecovered();
+            // A permanently broken device re-wedges the moment it is
+            // back: resets cannot fix it, so the reset budget drains
+            // and the Watchdog converges to fail-over.
+            if (permanent_wedge)
+                target_nic.wedge();
+        });
+    wd.onDeviceFailed([&target_ep] { target_ep.deviceFailed(); });
 
     ChaosKvResult r;
     r.kv = runReliableWithEndpoints(
@@ -176,17 +271,31 @@ runKvClientServerChaos(sim::Simulator &sim,
     // Teardown audit: hot-reset both NICs so every ring- or
     // shadow-held buffer is reclaimed, then ask the pools what never
     // came back. A buffer the data plane truly dropped on the floor
-    // is unreachable from any ring and shows up here.
+    // is unreachable from any ring and shows up here. The audit runs
+    // while both devices are still Down: a straggler retransmit that
+    // lands after the sweep waits in the RX mailbox instead of being
+    // consumed by a revived engine and published into a ring nobody
+    // will reap (which would read as a leak that never happened).
     bool client_down = false;
     bool server_down = false;
-    sim.spawn(lifecycleCycle(client_nic, &client_down));
-    sim.spawn(lifecycleCycle(server_nic, &server_down));
+    sim.spawn(teardownSweep(client_nic, &client_down));
+    sim.spawn(teardownSweep(server_nic, &server_down));
     const Tick teardown_deadline = sim.now() + sim::fromUs(500.0);
     while (!(client_down && server_down) &&
            sim.now() < teardown_deadline)
         sim.run(sim.now() + sim::fromUs(10.0));
 
     r.leakedBufs = client_nic.auditLeaks() + server_nic.auditLeaks();
+    r.deviceFailed = wd.failed();
+
+    bool client_up = false;
+    bool server_up = false;
+    sim.spawn(teardownRevive(client_nic, &client_up));
+    sim.spawn(teardownRevive(server_nic, &server_up));
+    const Tick revive_deadline = sim.now() + sim::fromUs(100.0);
+    while (!(client_up && server_up) && sim.now() < revive_deadline)
+        sim.run(sim.now() + sim::fromUs(10.0));
+
     bool live = client_nic.operational() && server_nic.operational();
     for (int q = 0; live && q < client_nic.numQueues(); ++q)
         live = client_nic.health(q).txOutstanding == 0;
@@ -197,8 +306,14 @@ runKvClientServerChaos(sim::Simulator &sim,
     r.wedgesInjected = chaos.wedgesInjected();
     r.flapsInjected = chaos.flapsInjected();
     r.burstsInjected = chaos.burstsInjected();
+    r.poisonsInjected = chaos.poisonsInjected();
+    r.tornsInjected = chaos.tornsInjected();
+    r.stucksInjected = chaos.stucksInjected();
+    r.brownoutsInjected = chaos.brownoutsInjected();
+    r.integrityRetries = target_nic.integrityRetries();
+    r.integrityFaults = target_nic.integrityFaults();
     r.recoveries = wd.stats().recoveries.value();
-    r.deviceResets = client_ep.stats().deviceResets.value();
+    r.deviceResets = target_ep.stats().deviceResets.value();
     const stats::Histogram &h = chaos.recoveryLatency();
     if (h.count() > 0) {
         r.recoveryP50Ns = sim::toNs(h.percentile(50.0));

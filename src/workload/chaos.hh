@@ -40,6 +40,10 @@ enum class ChaosKind : std::uint8_t
     NicWedge, ///< Freeze the target NIC's device engines.
     LinkFlap, ///< Take both link directions down, then back up.
     LossBurst, ///< Force-drop the next few packets on each direction.
+    MemPoison, ///< Poison the target's live datapath lines (CXL-style).
+    MemTorn,   ///< Torn-visibility window on the datapath lines.
+    MemStuck,  ///< Stuck line: invalidations delayed past the horizon.
+    MemBrownout, ///< Stretch one agent's coherence ops by a factor.
 };
 
 /** Chaos schedule configuration. Events land in [start, end). */
@@ -54,6 +58,32 @@ struct ChaosConfig
     sim::Tick flapDown = sim::fromUs(5.0); ///< Down time per flap.
     int lossBursts = 2; ///< Consecutive-drop bursts per direction.
     int burstDrops = 4; ///< Packets force-dropped per burst.
+
+    // Memory-chaos events (coherence-layer fault injection). Counts
+    // default to 0 so existing link/NIC chaos configs are unchanged.
+    int poisons = 0;    ///< Line-poison events on live datapath lines.
+    int torns = 0;      ///< Torn-visibility windows.
+    int stuckLines = 0; ///< Stuck-invalidation windows.
+    int brownouts = 0;  ///< Interconnect brownouts on the host agent.
+    sim::Tick poisonHold = sim::fromUs(2.0); ///< Poison window; the
+                                             ///< IntegrityGuard retry
+                                             ///< budget outlasts it.
+    sim::Tick tornHold = sim::fromUs(2.0);   ///< Torn window.
+    /// Stuck window. Must exceed the Watchdog stall horizon
+    /// (stallChecks * checkInterval) so a stuck signal line is seen
+    /// as a ring stall and escalates to a hot-reset.
+    sim::Tick stuckHold = sim::fromUs(40.0);
+    sim::Tick brownoutHold = sim::fromUs(20.0); ///< Brownout window.
+    double brownoutFactor = 4.0; ///< Coherence-op stretch factor.
+
+    /// Aim the schedule (and the Watchdog) at the server NIC instead
+    /// of the client NIC.
+    bool targetServer = false;
+
+    /// Re-wedge the target immediately after every recovery: the
+    /// device is permanently broken, so resets can never fix it and
+    /// the Watchdog's reset budget must converge to fail-over.
+    bool permanentWedge = false;
 };
 
 /** Injection targets. Any of them may be left unset (skipped). */
@@ -62,6 +92,14 @@ struct ChaosHooks
     std::function<void()> wedge; ///< Freeze the NIC under test.
     net::Link *uplink = nullptr;
     net::Link *downlink = nullptr;
+
+    // Memory-chaos injectors (hold window as argument). Typically
+    // close over the target host's CoherentSystem and the NIC's
+    // faultLines() so events always land on live datapath lines.
+    std::function<void(sim::Tick)> poison;
+    std::function<void(sim::Tick)> torn;
+    std::function<void(sim::Tick)> stuck;
+    std::function<void(double, sim::Tick)> brownout;
 };
 
 /**
@@ -98,6 +136,13 @@ class ChaosSchedule
     std::uint64_t wedgesInjected() const { return wedges_.value(); }
     std::uint64_t flapsInjected() const { return flaps_.value(); }
     std::uint64_t burstsInjected() const { return bursts_.value(); }
+    std::uint64_t poisonsInjected() const { return poisons_.value(); }
+    std::uint64_t tornsInjected() const { return torns_.value(); }
+    std::uint64_t stucksInjected() const { return stucks_.value(); }
+    std::uint64_t brownoutsInjected() const
+    {
+        return brownouts_.value();
+    }
 
   private:
     sim::Task replayTask(sim::Tick run_until);
@@ -111,6 +156,10 @@ class ChaosSchedule
     obs::Counter wedges_{"chaos.nic_wedges"};
     obs::Counter flaps_{"chaos.link_flaps"};
     obs::Counter bursts_{"chaos.loss_bursts"};
+    obs::Counter poisons_{"chaos.mem_poisons"};
+    obs::Counter torns_{"chaos.mem_torns"};
+    obs::Counter stucks_{"chaos.mem_stuck_lines"};
+    obs::Counter brownouts_{"chaos.mem_brownouts"};
 };
 
 /** Chaos-run result: workload outcome plus recovery accounting. */
@@ -130,15 +179,29 @@ struct ChaosKvResult
 
     std::uint64_t leakedBufs = 0; ///< Post-teardown pool audit, both NICs.
     bool ringsLive = false; ///< Both NICs operational, no stuck TX.
+
+    // Memory-chaos and escalation accounting.
+    std::uint64_t poisonsInjected = 0;
+    std::uint64_t tornsInjected = 0;
+    std::uint64_t stucksInjected = 0;
+    std::uint64_t brownoutsInjected = 0;
+    std::uint64_t integrityRetries = 0; ///< Stage-1 localized retries.
+    std::uint64_t integrityFaults = 0;  ///< Persistent datapath faults.
+    bool deviceFailed = false; ///< Watchdog declared permanent failure.
 };
 
 /**
  * Reliable KV client-server run under a seeded chaos schedule aimed
- * at the client NIC and its fabric links. A Watchdog monitors the
- * client NIC and hot-resets it on wedge; the client transport endpoint
- * is notified around each recovery so committed operations survive.
- * After the run both NICs are torn down through
- * quiesce()/reset()/reinit() and their pools audited for leaks.
+ * at one host's NIC, fabric links and memory agent (the client by
+ * default; the server under ChaosConfig::targetServer). A Watchdog
+ * monitors the target NIC and drives the escalation ladder: localized
+ * integrity retries are stamped as stage "retry", wedges/stalls/
+ * persistent faults hot-reset the device (stage "reset", backed off
+ * exponentially), and a blown reset budget fails the device over
+ * permanently (stage "failover", resolving every in-flight op through
+ * Endpoint::deviceFailed). After the run both NICs are torn down
+ * through quiesce()/reset()/reinit() and their pools audited for
+ * leaks.
  */
 ChaosKvResult runKvClientServerChaos(
     sim::Simulator &sim, mem::CoherentSystem &server_mem,

@@ -16,6 +16,7 @@
 #include "mem/platform.hh"
 #include "sim/simulator.hh"
 #include "sim/task.hh"
+#include "workload/chaos.hh"
 
 namespace {
 
@@ -475,6 +476,164 @@ pingpongNs(CoherentSystem &m, sim::Simulator &simv, AgentId ping_agent,
     // Median round trip.
     std::sort(st.rtts.begin(), st.rtts.end());
     return sim::toNs(st.rtts[st.rtts.size() / 2]);
+}
+
+TEST(FaultInjection, PoisonVisibleExactlyDuringWindow)
+{
+    MemFixture f(mem::icxConfig());
+    auto &m = f.system;
+    f.run([&]() -> sim::Coro<void> {
+        Addr a = m.alloc(0, 2 * kLineBytes);
+        Addr other = a + kLineBytes;
+
+        // Zero-cost path: nothing armed, queries are free and false.
+        EXPECT_FALSE(m.faultsArmed());
+        EXPECT_FALSE(m.rangePoisoned(a, kLineBytes));
+
+        const Tick hold = sim::fromUs(2.0);
+        const Tick t0 = f.simv.now();
+        m.injectPoison(a, hold);
+        EXPECT_TRUE(m.faultsArmed());
+        EXPECT_EQ(m.telemetry().poisonInjected.value(), 1u);
+
+        // The scheduled reader (inside the window) observes poison;
+        // the neighbouring line never does.
+        EXPECT_TRUE(m.rangePoisoned(a, 8));
+        EXPECT_FALSE(m.rangePoisoned(other, 8));
+        co_await f.simv.delayUntil(t0 + hold - 1);
+        EXPECT_TRUE(m.rangePoisoned(a, kLineBytes));
+        EXPECT_EQ(m.telemetry().poisonReads.value(), 2u);
+
+        // One tick past the window the line reads clean again, and
+        // observations stop counting.
+        co_await f.simv.delayUntil(t0 + hold);
+        EXPECT_FALSE(m.rangePoisoned(a, kLineBytes));
+        EXPECT_EQ(m.telemetry().poisonReads.value(), 2u);
+        co_return;
+    });
+}
+
+TEST(FaultInjection, TornWindowBounded)
+{
+    MemFixture f(mem::icxConfig());
+    auto &m = f.system;
+    f.run([&]() -> sim::Coro<void> {
+        Addr a = m.alloc(0, kLineBytes);
+        const Tick hold = sim::fromUs(1.0);
+        const Tick t0 = f.simv.now();
+        m.injectTorn(a, hold);
+        EXPECT_EQ(m.telemetry().tornInjected.value(), 1u);
+
+        // Stale exactly while the window is open — a validating
+        // consumer rejects the slot — and clean the tick it closes.
+        EXPECT_TRUE(m.rangeStale(a, kLineBytes));
+        co_await f.simv.delayUntil(t0 + hold - 1);
+        EXPECT_TRUE(m.rangeStale(a, 8));
+        co_await f.simv.delayUntil(t0 + hold);
+        EXPECT_FALSE(m.rangeStale(a, kLineBytes));
+
+        // Torn lines are stale, not poisoned: the poison query never
+        // fires for them.
+        EXPECT_EQ(m.telemetry().poisonReads.value(), 0u);
+        co_return;
+    });
+}
+
+TEST(FaultInjection, StuckLineHoldsVersionUntilWindowCloses)
+{
+    MemFixture f(mem::icxConfig());
+    auto &m = f.system;
+    f.run([&]() -> sim::Coro<void> {
+        Addr a = m.alloc(0, kLineBytes);
+        const std::uint32_t v0 = m.lineVersion(a);
+
+        const Tick hold = sim::fromUs(5.0);
+        const Tick t0 = f.simv.now();
+        m.injectStuck(a, hold);
+        EXPECT_EQ(m.telemetry().stuckInjected.value(), 1u);
+
+        // A write lands during the window, but the stuck invalidation
+        // keeps pollers on the held version: the line looks unchanged
+        // (and stale) until the window expires.
+        co_await m.store(f.writer1, a, 8);
+        EXPECT_EQ(m.lineVersion(a), v0);
+        EXPECT_TRUE(m.rangeStale(a, kLineBytes));
+
+        co_await f.simv.delayUntil(t0 + hold + 1);
+        EXPECT_GT(m.lineVersion(a), v0);
+        EXPECT_FALSE(m.rangeStale(a, kLineBytes));
+        co_return;
+    });
+}
+
+TEST(FaultInjection, BrownoutStretchesOnlyTargetAgentOps)
+{
+    MemFixture f(mem::icxConfig());
+    auto &m = f.system;
+    f.run([&]() -> sim::Coro<void> {
+        Addr a = m.alloc(0, kLineBytes);
+        Addr b = m.alloc(0, kLineBytes);
+
+        // Baseline: a local-DRAM load with no fault armed.
+        Tick t0 = f.simv.now();
+        co_await m.load(f.reader0, a, 8);
+        const Tick clean = f.simv.now() - t0;
+
+        m.injectBrownout(f.reader0, 4.0, sim::fromUs(50.0));
+        EXPECT_EQ(m.telemetry().brownouts.value(), 1u);
+
+        // The browned-out agent's ops stretch by ~the factor...
+        t0 = f.simv.now();
+        co_await m.load(f.reader0, b, 8);
+        const Tick stretched = f.simv.now() - t0;
+        EXPECT_GE(stretched, 3 * clean);
+        EXPECT_GT(m.telemetry().brownoutStretchedOps.value(), 0u);
+
+        // ...while another agent on the same socket is untouched.
+        Addr c = m.alloc(0, kLineBytes);
+        t0 = f.simv.now();
+        co_await m.load(f.writer0, c, 8);
+        EXPECT_LT(f.simv.now() - t0, 2 * clean);
+        co_return;
+    });
+}
+
+TEST(FaultInjection, ScheduleIsSeedDeterministic)
+{
+    // Same seed, same config → bit-identical injection schedules;
+    // a different seed must actually move events. (The schedule is
+    // the only source of randomness in a chaos run, so this is the
+    // reproducibility guarantee for failing runs.)
+    auto events_for = [](std::uint64_t seed) {
+        sim::Simulator simv;
+        workload::ChaosConfig cfg;
+        cfg.seed = seed;
+        cfg.start = sim::fromUs(10.0);
+        cfg.end = sim::fromUs(400.0);
+        cfg.poisons = 4;
+        cfg.torns = 3;
+        cfg.stuckLines = 2;
+        cfg.brownouts = 2;
+        workload::ChaosSchedule s(simv, cfg, {});
+        return s.events();
+    };
+
+    const auto a = events_for(0xfeedULL);
+    const auto b = events_for(0xfeedULL);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), 3u + 2u + 2u + 4u + 3u + 2u + 2u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].at, b[i].at) << i;
+        EXPECT_EQ(static_cast<int>(a[i].kind),
+                  static_cast<int>(b[i].kind))
+            << i;
+    }
+
+    const auto c = events_for(0xbeefULL);
+    bool any_moved = false;
+    for (std::size_t i = 0; i < a.size() && !any_moved; ++i)
+        any_moved = a[i].at != c[i].at;
+    EXPECT_TRUE(any_moved) << "seed change did not move any event";
 }
 
 TEST(Fig8Shape, ColocationBeatsSeparateLines)

@@ -33,7 +33,17 @@ built-in invariants plus (optionally) a checked-in baseline:
     Gauges are never normalized per-packet: a gauge appearing in
     "per_packet" is a config error, and rows are classified by the
     "kind" column of the snapshot. Metrics under "zero" must be
-    exactly zero.
+    exactly zero. Metrics under "absolute" are raw (unnormalized)
+    event counts banded as actual <= expected * (1 + tolerance) —
+    used for watchdog.escalations{stage=...}: a chaos run's recovery
+    count tracks the injected-fault count, not the packet count.
+
+ 5. Recovery escalations must not fire on a loss-free run: any
+    nonzero watchdog.escalations{stage=...} counter fails the gate
+    unless the run is lossy. A fault-free workload that trips the
+    watchdog means spurious stall detection or integrity
+    false-positives regressed. Lossy baselines instead band the
+    escalation counts via "absolute".
 
 The rate check (3) looks for the time-series section whose name
 derives from the counter section's ("counters*" -> "timeseries*").
@@ -128,6 +138,19 @@ BASELINE_ZERO = [
     "net.link.down_drops",
 ]
 
+# Labeled recovery-escalation counters: watchdog.escalations{stage=X}
+# for X in retry/reset/failover. Zero-cost when nothing fired (the
+# labeled children only register on first increment), so a loss-free
+# run simply has no such rows — any present-and-nonzero one is a
+# regression. Lossy baselines band them with "absolute" instead.
+ESCALATION_PREFIX = "watchdog.escalations{"
+
+
+def escalation_counters(c: dict) -> dict:
+    """The watchdog escalation-stage counters present in a snapshot."""
+    return {k: v for k, v in c.items()
+            if k.startswith(ESCALATION_PREFIX)}
+
 
 def load_sections(path: str) -> dict:
     with open(path, encoding="utf-8") as f:
@@ -162,6 +185,18 @@ def check_invariants(c: dict, max_reads_per_pkt: float,
         failures.append(
             f"loss-free run retransmitted: transport.retransmits="
             f"{rtx:.0f} transport.fast_retransmits={frtx:.0f}")
+
+    # Recovery escalations on a loss-free run mean the watchdog fired
+    # with no fault injected: spurious stall detection, integrity
+    # false positives, or a runaway reset loop.
+    esc = {k: v for k, v in escalation_counters(c).items() if v > 0}
+    if esc:
+        desc = " ".join(f"{k}={v:.0f}" for k, v in sorted(esc.items()))
+        if lossy:
+            print(f"lossy run: escalations allowed ({desc})")
+        else:
+            failures.append(
+                f"loss-free run escalated recovery: {desc}")
 
     # Signaling-efficiency invariants apply per family, each only
     # when that family actually delivered packets; a report from a
@@ -298,6 +333,26 @@ def check_baseline(c: dict, kinds: dict, baseline: dict,
             failures.append(
                 f"{name} expected to be zero, got {v:.0f}")
 
+    # Absolute bands: raw event counts (no normalization) that must
+    # not exceed expected * (1 + tolerance). Deterministic chaos runs
+    # record watchdog.escalations{stage=...} here — escalations track
+    # the injected-fault count, so a blowup means the recovery ladder
+    # is thrashing (e.g. a reset storm), while an absent counter is
+    # simply zero events and always within band.
+    for name, entry in baseline.get("absolute", {}).items():
+        expected = float(entry)
+        actual = c.get(name, 0.0)
+        bound = expected * (1.0 + tol)
+        verdict = "ok"
+        if actual > bound:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: {actual:.0f} events exceed baseline "
+                f"{expected:.0f} (+{tol * 100:.0f}% tolerance = "
+                f"{bound:.1f})")
+        print(f"baseline {name}: {actual:.0f} vs {expected:.0f} "
+              f"events -> {verdict}")
+
 
 def write_baseline(c: dict, kinds: dict, out_path: str,
                    tolerance: float, section: str,
@@ -334,6 +389,13 @@ def write_baseline(c: dict, kinds: dict, out_path: str,
     }
     if lossy:
         doc["lossy"] = True
+        # Band the recovery-escalation counts the run produced: a
+        # deterministic fault schedule recovers a fixed number of
+        # times, so a later blowup (reset storm, retry thrash) trips
+        # the absolute band even though the run is lossy.
+        esc = {k: round(v) for k, v in escalation_counters(c).items()}
+        if esc:
+            doc["absolute"] = esc
     os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -626,6 +688,68 @@ def selftest() -> int:
                     DEFAULT_TOLERANCE) == 0:
             print("SELFTEST FAIL: signal-read regression passed "
                   "under lossy baseline", file=sys.stderr)
+            return 1
+
+        # Watchdog escalations on a loss-free run must fail even with
+        # no baseline at all: recovery firing without injected faults
+        # is spurious by definition.
+        def escalated_report(resets: float) -> dict:
+            doc = _synthetic_report(signal_reads=670000)
+            doc["sections"]["counters_lossfree"]["rows"] += [
+                {"counter": "watchdog.escalations{stage=retry}",
+                 "kind": "counter", "value": resets * 2},
+                {"counter": "watchdog.escalations{stage=reset}",
+                 "kind": "counter", "value": resets},
+            ]
+            return doc
+
+        epath = os.path.join(td, "escalated.json")
+        with open(epath, "w", encoding="utf-8") as f:
+            json.dump(escalated_report(resets=3), f)
+        if run_gate(epath, None, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: loss-free escalations passed",
+                  file=sys.stderr)
+            return 1
+
+        # A lossy baseline bands the escalation count instead: the
+        # recorded count passes, a reset storm (3x the band) fails.
+        esc_bl = dict(lossy_bl)
+        esc_bl["absolute"] = {
+            "watchdog.escalations{stage=reset}": 3,
+        }
+        ebl = os.path.join(td, "esc_baseline.json")
+        with open(ebl, "w", encoding="utf-8") as f:
+            json.dump(esc_bl, f)
+        if run_gate(epath, ebl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) != 0:
+            print("SELFTEST FAIL: in-band escalations rejected "
+                  "under lossy baseline", file=sys.stderr)
+            return 1
+        spath = os.path.join(td, "reset_storm.json")
+        with open(spath, "w", encoding="utf-8") as f:
+            json.dump(escalated_report(resets=9), f)
+        if run_gate(spath, ebl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: reset storm passed the absolute "
+                  "escalation band", file=sys.stderr)
+            return 1
+
+        # --write-baseline --lossy must record the escalation counts
+        # it saw as absolute bands.
+        esc_sections = load_sections(epath)
+        ec, ekinds = counters_of(esc_sections, "counters_lossfree",
+                                 epath)
+        eout = os.path.join(td, "esc_written.json")
+        write_baseline(ec, ekinds, eout, DEFAULT_TOLERANCE,
+                       "counters_lossfree", lossy=True)
+        with open(eout, encoding="utf-8") as f:
+            ewritten = json.load(f)
+        if ewritten.get("absolute", {}).get(
+                "watchdog.escalations{stage=reset}") != 3:
+            print("SELFTEST FAIL: lossy written baseline did not "
+                  "record escalation absolutes: "
+                  f"{ewritten.get('absolute')!r}", file=sys.stderr)
             return 1
 
     print("counters gate selftest passed")

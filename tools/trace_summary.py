@@ -13,7 +13,12 @@ span id in arg. Events sharing an id are joined into a span and the
 adjacent-stage latencies are reported as a count/p50/p99 table,
 mirroring the "latency" JSON section benches emit directly.
 
+Span stages this script does not know about (added by newer builds)
+pass through: they are counted, listed with a warning, and never make
+a span "incomplete" — only missing *known* stages do.
+
 Usage: trace_summary.py <trace.json>
+       trace_summary.py --selftest
 """
 
 import collections
@@ -40,18 +45,26 @@ def percentile(sorted_vals, p):
     return sorted_vals[idx]
 
 
-def span_table(events) -> None:
-    """Join span.stage events by span id into per-stage latencies."""
+def analyze_spans(events):
+    """Join span.stage events by span id.
+
+    Returns (spans, deltas, e2e, incomplete, unknown) where `unknown`
+    counts events whose stage name is not in SPAN_STAGES — those pass
+    through (kept in their span, reported separately) instead of being
+    silently dropped, so a trace from a newer build with extra stages
+    still summarizes.
+    """
     spans = collections.defaultdict(dict)
+    unknown = collections.Counter()
     for e in events:
         if e["kind"] != "span.stage":
             continue
+        if e["name"] not in SPAN_STAGES:
+            unknown[e["name"]] += 1
         # Last stamp wins; stages are stamped once per span by
         # construction, but a wrapped trace ring can lose early
         # stages of old spans (those spans are simply incomplete).
         spans[e["arg"]][e["name"]] = e["tick"]
-    if not spans:
-        return
 
     deltas = {i: [] for i in range(len(SPAN_STAGES) - 1)}
     e2e = []
@@ -64,10 +77,24 @@ def span_table(events) -> None:
             deltas[i].append(
                 stamps[SPAN_STAGES[i + 1]] - stamps[SPAN_STAGES[i]])
         e2e.append(stamps[SPAN_STAGES[-1]] - stamps[SPAN_STAGES[0]])
+    return spans, deltas, e2e, incomplete, unknown
+
+
+def span_table(events) -> None:
+    """Print per-stage latency percentiles from span.stage events."""
+    spans, deltas, e2e, incomplete, unknown = analyze_spans(events)
+    if not spans:
+        return
 
     print()
     print(f"packet lifecycle spans: {len(spans)} sampled, "
           f"{incomplete} incomplete (truncated by ring wrap)")
+    if unknown:
+        names = ", ".join(f"{n} x{c}" for n, c in unknown.most_common())
+        print(f"warning: {sum(unknown.values())} events in "
+              f"{len(unknown)} unknown span stages "
+              f"(passed through, not in stage table): {names}",
+              file=sys.stderr)
     print(f"{'stage':<32} {'count':>8} {'p50_ns':>10} {'p99_ns':>10}")
     for i in range(len(SPAN_STAGES) - 1):
         vals = sorted(deltas[i])
@@ -82,7 +109,44 @@ def span_table(events) -> None:
           f"{percentile(vals, 99) / 1e3:>10.1f}")
 
 
+def selftest() -> int:
+    """Exercise span joining, incompleteness, and unknown stages."""
+    def span(sid, stages, t0=0, step=1000):
+        return [{"tick": t0 + i * step, "kind": "span.stage",
+                 "name": s, "arg": sid}
+                for i, s in enumerate(stages)]
+
+    # Span 1: complete. Span 2: missing the last known stage.
+    # Span 3: complete, plus one stage this script does not know.
+    events = (span(1, SPAN_STAGES) +
+              span(2, SPAN_STAGES[:-1]) +
+              span(3, SPAN_STAGES + ["span.integrity_retry"]))
+    spans, deltas, e2e, incomplete, unknown = analyze_spans(events)
+    assert len(spans) == 3, spans
+    assert incomplete == 1, incomplete
+    assert len(e2e) == 2 and all(
+        v == (len(SPAN_STAGES) - 1) * 1000 for v in e2e), e2e
+    assert all(len(v) == 2 for v in deltas.values()), deltas
+    # The unknown stage passes through with a count, and does not
+    # disqualify its span from the latency table.
+    assert unknown == {"span.integrity_retry": 1}, unknown
+
+    # A trace that is *only* unknown stages still summarizes (every
+    # span incomplete, nothing in the delta table, nothing dropped).
+    odd = span(7, ["span.integrity_retry", "span.integrity_retry2"])
+    _, deltas2, e2e2, incomplete2, unknown2 = analyze_spans(odd)
+    assert incomplete2 == 1 and not e2e2, (incomplete2, e2e2)
+    assert all(not v for v in deltas2.values()), deltas2
+    assert sum(unknown2.values()) == 2, unknown2
+
+    span_table(events)  # Smoke: printing path, warning included.
+    print("selftest ok")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--selftest":
+        return selftest()
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
