@@ -38,8 +38,15 @@ curveFor(const std::string &key,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    // The overview bench always profiles coherence: hooks add no
+    // simulated latency (results are bit-identical to a disabled run,
+    // which is exactly what the baseline tolerance gate verifies), and
+    // the "coherence" section is this bench's region-attribution
+    // reference for tools/c2c_report.py.
+    obs::CoherenceProfiler::setDefaultEnabled(true);
     stats::JsonReport json("fig11_overview");
     auto icx = mem::icxConfig();
     // All interface worlds come from the shared family factory so this
@@ -129,5 +136,6 @@ main()
     obs::SpanTable::global().table().print();
     ccn::bench::addObsSections(json);
     json.write();
+    opts.finish();
     return 0;
 }

@@ -33,17 +33,27 @@ int
 main(int argc, char **argv)
 {
     const auto opts = bench::BenchOptions::parse(argc, argv);
+    // Profile every variant: the distinct regionTag per layout lets
+    // the ping-pong detector (and tools/c2c_report.py --check-fig14)
+    // show that packed 16B descriptor lines thrash while the grouped
+    // 4+1 layout's intended two-way lines do not.
+    obs::CoherenceProfiler::setDefaultEnabled(true);
     stats::JsonReport json("fig14_signaling_layout");
     auto spr = mem::sprConfig();
     const int cores = 32;
 
     stats::banner("Figure 14a: signaling (SPR, 64B)");
     stats::Table a({"signal", "peak_Mpps", "min_ns", "paper"});
-    variant("inline", ccnic::optimizedConfig(cores, 0, spr), spr, cores,
-            28e6 * cores, "baseline", a);
+    {
+        auto cfg = ccnic::optimizedConfig(cores, 0, spr);
+        cfg.regionTag = "sig_inline";
+        variant("inline", cfg, spr, cores, 28e6 * cores, "baseline",
+                a);
+    }
     {
         auto cfg = ccnic::optimizedConfig(cores, 0, spr);
         cfg.signal = driver::SignalMode::Register;
+        cfg.regionTag = "sig_register";
         variant("register", cfg, spr, cores, 22e6 * cores,
                 "paper: 1.3x lower rate, +59% min latency", a);
     }
@@ -52,18 +62,23 @@ main(int argc, char **argv)
 
     stats::banner("Figure 14b: descriptor layout (SPR, 64B)");
     stats::Table b({"layout", "peak_Mpps", "min_ns", "paper"});
-    variant("opt (grouped)", ccnic::optimizedConfig(cores, 0, spr), spr,
-            cores, 28e6 * cores, "3.0x tput of pad, min lat of pad",
-            b);
+    {
+        auto cfg = ccnic::optimizedConfig(cores, 0, spr);
+        cfg.regionTag = "opt_grouped";
+        variant("opt (grouped)", cfg, spr, cores, 28e6 * cores,
+                "3.0x tput of pad, min lat of pad", b);
+    }
     {
         auto cfg = ccnic::optimizedConfig(cores, 0, spr);
         cfg.layout = driver::RingLayout::Packed;
+        cfg.regionTag = "pack16";
         variant("pack (16B)", cfg, spr, cores, 26e6 * cores,
                 "2.9x tput of pad, but thrashes (higher lat)", b);
     }
     {
         auto cfg = ccnic::optimizedConfig(cores, 0, spr);
         cfg.layout = driver::RingLayout::Padded;
+        cfg.regionTag = "pad64";
         variant("pad (64B)", cfg, spr, cores, 10e6 * cores,
                 "low latency, 1/3 the throughput", b);
     }

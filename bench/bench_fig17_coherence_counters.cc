@@ -57,8 +57,12 @@ measure(const ccnic::CcNicConfig &cfg, bool batched)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    // The coherence-counter bench is the profiler's home figure:
+    // always attribute its remote READ/RFO traffic to named regions.
+    obs::CoherenceProfiler::setDefaultEnabled(true);
     stats::JsonReport json("fig17_coherence_counters");
     auto spr = mem::sprConfig();
     stats::banner(
@@ -89,5 +93,6 @@ main()
     json.add("coherence_counters", t);
     ccn::bench::addObsSections(json);
     json.write();
+    opts.finish();
     return 0;
 }

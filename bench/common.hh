@@ -48,10 +48,18 @@ using scenario::latencyAtLoadNs;
  * `--trace <file>` enables the global tracepoint ring for the whole
  * run and writes it as JSON (array of {tick, kind, name, arg}
  * objects) on finish(); summarize with tools/trace_summary.py.
+ *
+ * `--profile-coherence` enables the line-level coherence contention
+ * profiler for every world the bench builds; the report then carries
+ * populated "coherence" / "coherence_hotlines" / "coherence_matrix"
+ * sections (render with tools/c2c_report.py). Profiler hooks add no
+ * simulated latency, so measured results are bit-identical either
+ * way.
  */
 struct BenchOptions
 {
     std::string traceFile;
+    bool profileCoherence = false;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -62,6 +70,9 @@ struct BenchOptions
             if (a == "--trace" && i + 1 < argc) {
                 o.traceFile = argv[++i];
                 obs::Trace::global().enable(1 << 18);
+            } else if (a == "--profile-coherence") {
+                o.profileCoherence = true;
+                obs::CoherenceProfiler::setDefaultEnabled(true);
             }
         }
         return o;

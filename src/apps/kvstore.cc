@@ -19,7 +19,7 @@ constexpr int kBurst = 32;
 struct KvServer::State
 {
     State(mem::CoherentSystem &m, const KvConfig &cfg, sim::Rng &rng)
-        : zipf(cfg.numObjects, cfg.zipf)
+        : zipf(cfg.numObjects, cfg.zipf), msys(&m)
     {
         // Hash index: open-addressed 8B entries, 2x objects.
         indexBase = m.alloc(0, cfg.numObjects * 2 * 8, 4096);
@@ -32,9 +32,34 @@ struct KvServer::State
             objAddr.push_back(m.alloc(0, len, 64));
             objLen.push_back(len);
         }
+        // Application-data regions: hot index buckets and hot objects
+        // are shared read-mostly working set, so migratory handoffs
+        // there are accidental contention, not protocol signaling.
+        auto &prof = m.profiler();
+        profRegions.push_back(
+            prof.registerRegion("kv.index", indexBase,
+                                cfg.numObjects * 2 * 8,
+                                obs::RegionIntent::Owned));
+        if (!objAddr.empty()) {
+            const Addr lo = objAddr.front();
+            const Addr hi = objAddr.back() + objLen.back();
+            profRegions.push_back(prof.registerRegion(
+                "kv.objects", lo, hi - lo, obs::RegionIntent::Owned));
+        }
     }
 
+    ~State()
+    {
+        for (auto id : profRegions)
+            msys->profiler().unregisterRegion(id);
+    }
+
+    State(const State &) = delete;
+    State &operator=(const State &) = delete;
+
     workload::ZipfSampler zipf;
+    mem::CoherentSystem *msys;
+    std::vector<obs::RegionId> profRegions;
     Addr indexBase = 0;
     std::uint64_t indexMask = 0;
     std::vector<Addr> objAddr;

@@ -141,6 +141,13 @@ runTcpRpc(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     st->flowTable = mem_system.alloc(
         0, static_cast<std::uint64_t>(cfg.flows) * 2 * mem::kLineBytes,
         4096);
+    // Flow-state lines are core-private per flow once steered; cross-
+    // agent traffic there is accidental (bad RSS steering, not
+    // intended two-way signaling).
+    const auto flow_region = mem_system.profiler().registerRegion(
+        "tcprpc.flow_table", st->flowTable,
+        static_cast<std::uint64_t>(cfg.flows) * 2 * mem::kLineBytes,
+        obs::RegionIntent::Owned);
 
     std::shared_ptr<RpcState> stp = st;
     WireModel *wp = &wire;
@@ -159,6 +166,7 @@ runTcpRpc(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     sim.spawn(rpcClientGen(sim, nic, inject, inbound, cfg, st,
                            cfg.seed));
     sim.run(st->measureEnd + sim::fromUs(20.0));
+    mem_system.profiler().unregisterRegion(flow_region);
 
     TcpRpcResult r;
     r.served = st->served;

@@ -216,6 +216,68 @@ CcNic::CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     hostBeat_ =
         std::make_unique<driver::RegisterLine>(mem_, hostSocket_);
     nicBeat_ = std::make_unique<driver::RegisterLine>(mem_, nicSocket_);
+    registerProfRegions();
+}
+
+CcNic::~CcNic()
+{
+    unregisterProfRegions();
+}
+
+void
+CcNic::registerProfRegions()
+{
+    using obs::RegionIntent;
+    obs::CoherenceProfiler &prof = mem_.profiler();
+    const std::string tag =
+        cfg_.regionTag.empty() ? cfg_.spanPath : cfg_.regionTag;
+    // Grouped and Padded lines carry descriptors plus their inline
+    // ready flags: producer writes, consumer reads, ownership
+    // migrates back and forth by design (Fig 8). Packed 16B
+    // descriptors share a line without that discipline — alternation
+    // there is the accidental thrash fig14 measures.
+    const RegionIntent ring_intent =
+        cfg_.layout == driver::RingLayout::Packed
+            ? RegionIntent::Owned
+            : RegionIntent::TwoWay;
+    for (int q = 0; q < cfg_.numQueues; ++q) {
+        Queue &queue = *queues_[q];
+        const std::string qs = "[q" + std::to_string(q) + "]";
+        profRegions_.push_back(
+            prof.registerRegion(tag + ".tx_ring" + qs, queue.tx.base(),
+                                queue.tx.bytes(), ring_intent));
+        profRegions_.push_back(
+            prof.registerRegion(tag + ".rx_ring" + qs, queue.rx.base(),
+                                queue.rx.bytes(), ring_intent));
+        // Head/tail register lines are single-line two-way signals
+        // whichever signaling mode is active (idle in Inline mode).
+        profRegions_.push_back(prof.registerRegion(
+            tag + ".tx_tail" + qs, queue.txTail.addr(),
+            mem::kLineBytes, RegionIntent::TwoWay));
+        profRegions_.push_back(prof.registerRegion(
+            tag + ".tx_head" + qs, queue.txHead.addr(),
+            mem::kLineBytes, RegionIntent::TwoWay));
+        profRegions_.push_back(prof.registerRegion(
+            tag + ".rx_tail" + qs, queue.rxTail.addr(),
+            mem::kLineBytes, RegionIntent::TwoWay));
+        profRegions_.push_back(prof.registerRegion(
+            tag + ".rx_head" + qs, queue.rxHead.addr(),
+            mem::kLineBytes, RegionIntent::TwoWay));
+    }
+    profRegions_.push_back(prof.registerRegion(
+        tag + ".host_beat", hostBeat_->addr(), mem::kLineBytes,
+        RegionIntent::TwoWay));
+    profRegions_.push_back(prof.registerRegion(
+        tag + ".nic_beat", nicBeat_->addr(), mem::kLineBytes,
+        RegionIntent::TwoWay));
+}
+
+void
+CcNic::unregisterProfRegions()
+{
+    for (obs::RegionId id : profRegions_)
+        mem_.profiler().unregisterRegion(id);
+    profRegions_.clear();
 }
 
 void
@@ -468,6 +530,11 @@ CcNic::reinit()
 {
     assert(devState_ == DevState::Down);
     co_await sim_.delay(cycles(cfg_.nicCosts.perLoop * 8));
+    // Re-register profiler regions across the hot-reset, as a fresh
+    // driver attach would. reset() does not reallocate ring storage,
+    // so the ranges are identical and the region count must not leak.
+    unregisterProfRegions();
+    registerProfRegions();
     wedged_ = false;
     devState_ = DevState::Running;
     runGate_.notifyAll();

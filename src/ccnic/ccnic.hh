@@ -137,6 +137,12 @@ struct CcNicConfig
     /// obs::SpanTable (keeps CC-NIC and unoptimized-UPI breakdowns
     /// separate in the "latency" bench section).
     std::string spanPath = "ccnic";
+
+    /// Prefix for coherence-profiler region names ("<tag>.tx_ring[q0]"
+    /// etc.); empty means "use spanPath". Ablation benches that run
+    /// several ring variants in one process (fig14) set distinct tags
+    /// so the "coherence" section separates the variants.
+    std::string regionTag;
 };
 
 /** The paper's optimized CC-NIC configuration. */
@@ -174,6 +180,7 @@ class CcNic : public driver::NicInterface
     CcNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
           const CcNicConfig &config, int host_socket, int nic_socket,
           sim::Rng &rng);
+    ~CcNic();
 
     /** Spawn the NIC-side processes. Call once before running. */
     void start();
@@ -394,6 +401,17 @@ class CcNic : public driver::NicInterface
     /** Deliver a TX packet to the wire. */
     void deliverTx(int q, const WirePacket &pkt);
 
+    /// @name Coherence-profiler regions.
+    /// Ring/signal/heartbeat ranges register under
+    /// "<regionTag>.tx_ring[qN]"-style names at construction and
+    /// re-register across hot-reset (reinit()) — ring storage is not
+    /// reallocated by reset(), so the ranges are stable and the
+    /// region count must not grow.
+    /// @{
+    void registerProfRegions();
+    void unregisterProfRegions();
+    /// @}
+
     /**
      * Consume-side integrity filter on one descriptor line: stale
      * (torn/stuck) views read as not-ready, poisoned lines are
@@ -442,6 +460,10 @@ class CcNic : public driver::NicInterface
     sim::Gate runGate_;      ///< Parks NIC engines while not Running.
     std::unique_ptr<driver::RegisterLine> hostBeat_; ///< Host-bumped.
     std::unique_ptr<driver::RegisterLine> nicBeat_;  ///< NIC-bumped.
+
+    /// Live coherence-profiler region handles (rings, signal
+    /// registers, heartbeat lines).
+    std::vector<obs::RegionId> profRegions_;
 };
 
 } // namespace ccn::ccnic

@@ -30,6 +30,11 @@ Mempool::Mempool(mem::CoherentSystem &mem_system,
                    static_cast<std::uint64_t>(cfg_.largeCount) *
                        cfg_.largeBufBytes,
                    cfg_.largeBufBytes);
+    profRegions_.push_back(mem_.profiler().registerRegion(
+        "pool.bufs_large", large_base,
+        static_cast<std::uint64_t>(cfg_.largeCount) *
+            cfg_.largeBufBytes,
+        obs::RegionIntent::Owned));
     largeBufs_.resize(cfg_.largeCount);
     for (std::uint32_t i = 0; i < cfg_.largeCount; ++i) {
         PacketBuf &b = largeBufs_[i];
@@ -47,6 +52,11 @@ Mempool::Mempool(mem::CoherentSystem &mem_system,
                        static_cast<std::uint64_t>(cfg_.smallCount) *
                            cfg_.smallBufBytes,
                        cfg_.largeBufBytes);
+        profRegions_.push_back(mem_.profiler().registerRegion(
+            "pool.bufs_small", small_base,
+            static_cast<std::uint64_t>(cfg_.smallCount) *
+                cfg_.smallBufBytes,
+            obs::RegionIntent::Owned));
         smallBufs_.resize(cfg_.smallCount);
         for (std::uint32_t i = 0; i < cfg_.smallCount; ++i) {
             PacketBuf &b = smallBufs_[i];
@@ -86,18 +96,37 @@ Mempool::Mempool(mem::CoherentSystem &mem_system,
         // free ring and index line with simulated memory.
         for (std::uint32_t i = 0; i < count; ++i)
             cs.stripes[i % nstripes].freeStack.push_back(order[i]);
-        for (Stripe &st : cs.stripes) {
-            st.stackMem = mem_.alloc(
-                cfg_.homeSocket,
-                static_cast<std::uint64_t>(count / nstripes + 1) * 8,
-                mem::kLineBytes);
+        for (std::size_t si = 0; si < cs.stripes.size(); ++si) {
+            Stripe &st = cs.stripes[si];
+            const std::uint64_t stack_bytes =
+                static_cast<std::uint64_t>(count / nstripes + 1) * 8;
+            st.stackMem = mem_.alloc(cfg_.homeSocket, stack_bytes,
+                                     mem::kLineBytes);
             st.indexLine = mem_.alloc(cfg_.homeSocket, mem::kLineBytes,
                                       mem::kLineBytes);
+            // The free-ring storage is producer/consumer bulk data;
+            // the shared head-index line is an intended contention
+            // point when host and NIC share the pool (§3.4).
+            const std::string stripe_name =
+                "pool.stripe" + std::to_string(si);
+            profRegions_.push_back(mem_.profiler().registerRegion(
+                stripe_name, st.stackMem, stack_bytes,
+                obs::RegionIntent::Owned));
+            profRegions_.push_back(mem_.profiler().registerRegion(
+                stripe_name, st.indexLine, mem::kLineBytes,
+                cfg_.sharedAccess ? obs::RegionIntent::TwoWay
+                                  : obs::RegionIntent::Owned));
         }
     };
     fill(largeState_, cfg_.largeCount);
     if (cfg_.smallBuffers)
         fill(smallState_, cfg_.smallCount);
+}
+
+Mempool::~Mempool()
+{
+    for (obs::RegionId id : profRegions_)
+        mem_.profiler().unregisterRegion(id);
 }
 
 BufClass
@@ -127,11 +156,14 @@ Mempool::recycleFor(mem::AgentId agent, BufClass cls)
 {
     RecycleState &rc = recycle_[recycleKey(agent, cls)];
     if (rc.localMem == 0) {
-        rc.localMem =
-            mem_.alloc(mem_.agentSocket(agent),
-                       static_cast<std::uint64_t>(cfg_.recycleDepth) * 8,
-                       mem::kLineBytes);
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(cfg_.recycleDepth) * 8;
+        rc.localMem = mem_.alloc(mem_.agentSocket(agent), bytes,
+                                 mem::kLineBytes);
         rc.stack.reserve(cfg_.recycleDepth);
+        profRegions_.push_back(mem_.profiler().registerRegion(
+            "pool.recycle", rc.localMem, bytes,
+            obs::RegionIntent::Owned));
     }
     return rc;
 }

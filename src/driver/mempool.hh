@@ -81,6 +81,9 @@ class Mempool
   public:
     Mempool(mem::CoherentSystem &mem_system, const MempoolConfig &config,
             sim::Rng &rng);
+    ~Mempool();
+    Mempool(const Mempool &) = delete;
+    Mempool &operator=(const Mempool &) = delete;
 
     /**
      * Allocate one buffer suited to @p size_hint bytes, charging pool
@@ -171,6 +174,9 @@ class Mempool
     mem::CoherentSystem &mem_;
     MempoolConfig cfg_;
     PoolTelemetry telem_;
+    /// Coherence-profiler regions owned by this pool (buffer arenas,
+    /// per-stripe metadata, lazily-created recycle stacks).
+    std::vector<obs::RegionId> profRegions_;
 
     std::vector<PacketBuf> largeBufs_;
     std::vector<PacketBuf> smallBufs_;

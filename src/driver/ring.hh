@@ -331,6 +331,18 @@ class DescRing
     std::uint32_t mask() const { return mask_; }
     RingLayout layout() const { return layout_; }
 
+    /// @name Backing storage extent (coherence-region registration).
+    /// @{
+    mem::Addr base() const { return base_; }
+    std::uint64_t
+    bytes() const
+    {
+        const std::uint32_t per_entry =
+            layout_ == RingLayout::Padded ? mem::kLineBytes : 16;
+        return static_cast<std::uint64_t>(entries_) * per_entry;
+    }
+    /// @}
+
     /** First index of the descriptor group containing @p idx. */
     std::uint32_t
     groupBase(std::uint32_t idx) const

@@ -11,10 +11,29 @@ namespace ccn::mem {
 
 using sim::Tick;
 
+/**
+ * Coherence-profiler hook: one predictable branch when the profiler
+ * is disabled, nothing at all when compiled out. Hooks never touch
+ * protocol state or timing — profiling leaves simulation results
+ * bit-identical.
+ */
+#if CCN_COHERENCE_PROFILER
+#define CCN_PROF(call)                                                 \
+    do {                                                               \
+        if (prof_.enabled())                                           \
+            prof_.call;                                                \
+    } while (0)
+#else
+#define CCN_PROF(call)                                                 \
+    do {                                                               \
+    } while (0)
+#endif
+
 CoherentSystem::CoherentSystem(sim::Simulator &sim,
                                const PlatformConfig &config)
     : sim_(sim), cfg_(config)
 {
+    prof_.enable(obs::CoherenceProfiler::defaultEnabled());
     for (int s = 0; s < cfg_.sockets; ++s) {
         llc_.emplace_back(cfg_.llcLines, cfg_.llcWays);
         upiInto_.emplace_back(sim_, cfg_.upiRawBw);
@@ -182,6 +201,7 @@ CoherentSystem::invalidateCopies(LineDir &d, Addr line, int req_socket,
             (os == req_socket ? r.anyLocal : r.anyRemote) = true;
             l2_[d.owner].erase(line);
             telem_.invalidations++;
+            CCN_PROF(noteInvalidation(line, sim_.now()));
         }
         d.owner = -1;
     }
@@ -198,6 +218,7 @@ CoherentSystem::invalidateCopies(LineDir &d, Addr line, int req_socket,
                     const int is = agents_[i].socket;
                     (is == req_socket ? r.anyLocal : r.anyRemote) = true;
                     telem_.invalidations++;
+                    CCN_PROF(noteInvalidation(line, sim_.now()));
                 }
             }
         }
@@ -330,6 +351,9 @@ CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
                 telem_.remoteRfos++;
                 obs::tracepoint(obs::EventKind::CoherenceRemoteRfo,
                                 "rfo.upgrade", t, line);
+                // Upgrade: invalidation + ack control messages only.
+                CCN_PROF(noteRemoteRfo(line, a, inv.dirtyOwner,
+                                       2 * cfg_.ctrlMsgBytes, t));
             } else {
                 ag.counters.prefetchRemote++;
             }
@@ -415,6 +439,9 @@ CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
                 telem_.remoteRfos++;
                 obs::tracepoint(obs::EventKind::CoherenceRemoteRfo,
                                 "rfo.miss", t, line);
+                CCN_PROF(noteRemoteRfo(
+                    line, a, inv.dirtyOwner,
+                    cfg_.ctrlMsgBytes + cfg_.dataMsgBytes, t));
             } else {
                 ag.counters.prefetchRemote++;
             }
@@ -434,6 +461,7 @@ CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
 
     // Read miss.
     CacheEntry *oe = nullptr;
+    int supplier = -1; ///< Forwarding L2 agent; -1 = home/LLC supply.
     if (d.owner >= 0 && d.owner != a)
         oe = l2_[d.owner].find(line);
 
@@ -449,6 +477,7 @@ CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
     if (oe) {
         const AgentId owner = d.owner;
         const int os = agents_[owner].socket;
+        supplier = owner;
         if (os == s) {
             t += cfg_.snoopFwdLocal;
         } else if (queued) {
@@ -478,9 +507,13 @@ CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
             telem_.migratoryHandoffs++;
             obs::tracepoint(obs::EventKind::CoherenceMigratory,
                             "migratory.handoff", t, line);
+            CCN_PROF(noteMigratory(line, a, owner, t));
             if (crossed) {
                 ag.counters.remoteReads++;
                 telem_.remoteReads++;
+                CCN_PROF(noteRemoteRead(
+                    line, a, owner,
+                    cfg_.ctrlMsgBytes + cfg_.dataMsgBytes, t));
             }
             installL2(a, line, LineState::Exclusive, true, t);
             d.owner = static_cast<std::int16_t>(a);
@@ -541,6 +574,9 @@ CoherentSystem::walkLineProtocol(AgentId a, Addr line, bool write,
             telem_.remoteReads++;
             obs::tracepoint(obs::EventKind::CoherenceRemoteRead,
                             "read.miss", t, line);
+            CCN_PROF(noteRemoteRead(
+                line, a, supplier,
+                cfg_.ctrlMsgBytes + cfg_.dataMsgBytes, t));
         } else {
             ag.counters.prefetchRemote++;
         }

@@ -35,6 +35,7 @@
 #include "mem/addr.hh"
 #include "mem/cache.hh"
 #include "mem/platform.hh"
+#include "obs/coherence_profiler.hh"
 #include "obs/obs.hh"
 #include "sim/simulator.hh"
 #include "sim/sync.hh"
@@ -295,6 +296,15 @@ class CoherentSystem
     /** System-wide registry-backed coherence counters. */
     const CoherenceTelemetry &telemetry() const { return telem_; }
 
+    /**
+     * Line-granular contention profiler. Structure owners register
+     * their address regions here; the protocol walk feeds it remote
+     * reads/RFOs/invalidations/migratory handoffs when enabled
+     * (obs::CoherenceProfiler::defaultEnabled() at construction).
+     */
+    obs::CoherenceProfiler &profiler() { return prof_; }
+    const obs::CoherenceProfiler &profiler() const { return prof_; }
+
     void resetStats();
     /// @}
 
@@ -422,6 +432,7 @@ class CoherentSystem
     sim::Simulator &sim_;
     PlatformConfig cfg_;
     CoherenceTelemetry telem_;
+    obs::CoherenceProfiler prof_;
 
     std::vector<Agent> agents_;
     std::vector<SetAssocCache> l2_;  // Indexed by agent.

@@ -144,6 +144,48 @@ PcieNic::PcieNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
         queues_.back()->batchOcc =
             &batchOccupancy_.at(static_cast<std::uint64_t>(q));
     }
+    registerProfRegions();
+}
+
+PcieNic::~PcieNic() { unregisterProfRegions(); }
+
+void
+PcieNic::registerProfRegions()
+{
+    auto &prof = mem_.profiler();
+    const auto intent = obs::RegionIntent::TwoWay;
+    // Host-homed packed rings: the host produces and the device DMAs
+    // them, so descriptor lines are intentionally owner-migrating, but
+    // DDIO keeps the directory traffic one-directional most of the
+    // time; tag them Owned so real ping-pong there is flagged.
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        const auto qi = std::to_string(q);
+        auto &qu = *queues_[q];
+        profRegions_.push_back(
+            prof.registerRegion("pcie.tx_ring[q" + qi + "]",
+                                qu.tx.base(), qu.tx.bytes(),
+                                obs::RegionIntent::Owned));
+        profRegions_.push_back(
+            prof.registerRegion("pcie.rx_ring[q" + qi + "]",
+                                qu.rx.base(), qu.rx.bytes(),
+                                obs::RegionIntent::Owned));
+        profRegions_.push_back(
+            prof.registerRegion("pcie.tx_headwb[q" + qi + "]",
+                                qu.txHeadWb, mem::kLineBytes, intent));
+    }
+    profRegions_.push_back(prof.registerRegion(
+        "pcie.dev_beat", devBeatLine_, mem::kLineBytes, intent));
+    profRegions_.push_back(prof.registerRegion(
+        "pcie.host_beat", hostBeatLine_, mem::kLineBytes, intent));
+}
+
+void
+PcieNic::unregisterProfRegions()
+{
+    auto &prof = mem_.profiler();
+    for (auto id : profRegions_)
+        prof.unregisterRegion(id);
+    profRegions_.clear();
 }
 
 void
@@ -294,6 +336,11 @@ PcieNic::reinit()
 {
     assert(devState_ == DevState::Down);
     co_await sim_.delay(sim::fromNs(500.0));
+    // Function-level reset does not reallocate rings or beat lines:
+    // the ranges are identical, so re-registration must not leak
+    // region slots.
+    unregisterProfRegions();
+    registerProfRegions();
     wedged_ = false;
     devState_ = DevState::Running;
     runGate_.notifyAll();

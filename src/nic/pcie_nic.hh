@@ -89,6 +89,7 @@ class PcieNic : public driver::NicInterface
     PcieNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
             const NicParams &params, int num_queues, int host_socket,
             sim::Rng &rng);
+    ~PcieNic();
 
     /** Spawn device engines. Call once before running. */
     void start();
@@ -310,6 +311,13 @@ class PcieNic : public driver::NicInterface
     sim::Gate runGate_;
     mem::Addr devBeatLine_ = 0;
     mem::Addr hostBeatLine_ = 0;
+
+    /// @name Coherence-profiler regions ("pcie.*").
+    /// @{
+    void registerProfRegions();
+    void unregisterProfRegions();
+    std::vector<obs::RegionId> profRegions_;
+    /// @}
     std::uint64_t devBeatValue_ = 0;
 };
 

@@ -1,0 +1,500 @@
+#include "obs/coherence_profiler.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ccn::obs {
+
+namespace {
+
+/** Hot lines retained per fold; the report shows far fewer. */
+constexpr std::size_t kHotRetain = 256;
+
+} // namespace
+
+/** Per-region rollup in the retired ledger / merged snapshots. */
+struct CoherenceProfiler::RegionAgg
+{
+    RegionIntent intent = RegionIntent::Owned;
+    bool intentKnown = false;
+    std::uint64_t lines = 0;
+    std::uint64_t remoteReads = 0;
+    std::uint64_t remoteRfos = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t migratory = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t pingpongLines = 0;
+};
+
+/** One retained hot line (class frozen at fold/snapshot time). */
+struct CoherenceProfiler::HotLine
+{
+    int nameIdx = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t remoteReads = 0;
+    std::uint64_t remoteRfos = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t migratory = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t flips = 0;
+    std::uint32_t peakWindowFlips = 0;
+    const char *cls = "-";
+
+    std::uint64_t traffic() const { return remoteReads + remoteRfos; }
+};
+
+/**
+ * Process-wide ledger: the interned region-name table, the list of
+ * live profilers, and the tables retired profilers folded in. The
+ * simulator is single-threaded, so no locks (same as obs::Registry).
+ */
+struct CoherenceProfiler::Ledger
+{
+    std::vector<std::string> names{"unknown"};
+    std::map<std::string, int> idxOf{{"unknown", 0}};
+    std::vector<CoherenceProfiler *> live;
+    std::map<int, RegionAgg> regions;
+    std::vector<HotLine> hot;
+    std::map<MatrixKey, MatrixCell> matrix;
+    bool defaultEnabled = false;
+
+    static Ledger &
+    get()
+    {
+        static Ledger l;
+        return l;
+    }
+
+    int
+    intern(const std::string &name)
+    {
+        auto it = idxOf.find(name);
+        if (it != idxOf.end())
+            return it->second;
+        const int idx = static_cast<int>(names.size());
+        names.push_back(name);
+        idxOf.emplace(name, idx);
+        return idx;
+    }
+};
+
+const char *
+regionIntentName(RegionIntent intent)
+{
+    return intent == RegionIntent::TwoWay ? "two_way" : "owned";
+}
+
+CoherenceProfiler::CoherenceProfiler()
+{
+    Ledger::get().live.push_back(this);
+}
+
+CoherenceProfiler::~CoherenceProfiler()
+{
+    fold();
+    auto &live = Ledger::get().live;
+    live.erase(std::remove(live.begin(), live.end(), this), live.end());
+}
+
+void
+CoherenceProfiler::setDefaultEnabled(bool on)
+{
+    Ledger::get().defaultEnabled = on;
+}
+
+bool
+CoherenceProfiler::defaultEnabled()
+{
+    return Ledger::get().defaultEnabled;
+}
+
+RegionId
+CoherenceProfiler::registerRegion(const std::string &name,
+                                  mem::Addr base, std::uint64_t bytes,
+                                  RegionIntent intent)
+{
+    if (bytes == 0)
+        throw std::invalid_argument("empty coherence region: " + name);
+    auto it = regions_.upper_bound(base);
+    if (it != regions_.begin()) {
+        const Region &prev = std::prev(it)->second;
+        if (prev.base + prev.bytes > base)
+            throw std::invalid_argument(
+                "coherence region '" + name + "' overlaps '" +
+                Ledger::get().names[static_cast<std::size_t>(
+                    prev.nameIdx)] +
+                "'");
+    }
+    if (it != regions_.end() && base + bytes > it->first)
+        throw std::invalid_argument(
+            "coherence region '" + name + "' overlaps '" +
+            Ledger::get().names[static_cast<std::size_t>(
+                it->second.nameIdx)] +
+            "'");
+
+    Region r;
+    r.nameIdx = Ledger::get().intern(name);
+    r.base = base;
+    r.bytes = bytes;
+    r.intent = intent;
+    r.id = nextId_++;
+    regions_.emplace(base, r);
+    idToBase_.emplace(r.id, base);
+    regionGen_++;
+    return r.id;
+}
+
+void
+CoherenceProfiler::unregisterRegion(RegionId id)
+{
+    auto it = idToBase_.find(id);
+    if (it == idToBase_.end())
+        return;
+    regions_.erase(it->second);
+    idToBase_.erase(it);
+    regionGen_++;
+}
+
+void
+CoherenceProfiler::resolveRegion(mem::Addr line, LineStats &ls) const
+{
+    ls.nameIdx = 0;
+    ls.regionBase = 0;
+    ls.intent = RegionIntent::Owned;
+    ls.multiRegion = false;
+    const Region *first = nullptr;
+    auto it = regions_.upper_bound(line);
+    if (it != regions_.begin()) {
+        const Region &prev = std::prev(it)->second;
+        if (line < prev.base + prev.bytes)
+            first = &prev;
+    }
+    for (; it != regions_.end() && it->first < line + mem::kLineBytes;
+         ++it) {
+        if (!first)
+            first = &it->second;
+        else if (it->second.nameIdx != first->nameIdx)
+            ls.multiRegion = true;
+    }
+    if (first) {
+        ls.nameIdx = first->nameIdx;
+        ls.regionBase = first->base;
+        ls.intent = first->intent;
+    }
+}
+
+CoherenceProfiler::LineStats &
+CoherenceProfiler::statsFor(mem::Addr line)
+{
+    LineStats &ls = lines_[line];
+    if (ls.regionGen != regionGen_) {
+        resolveRegion(line, ls);
+        ls.regionGen = regionGen_;
+    }
+    return ls;
+}
+
+void
+CoherenceProfiler::noteAlternation(LineStats &ls, int requester,
+                                   sim::Tick now)
+{
+    if (ls.lastRequester == kNoAgent) {
+        ls.windowStart = now;
+    } else if (ls.lastRequester != requester) {
+        ls.flips++;
+        if (now - ls.windowStart > window_) {
+            ls.windowStart = now;
+            ls.windowFlips = 0;
+        }
+        ls.windowFlips++;
+        ls.peakWindowFlips =
+            std::max(ls.peakWindowFlips, ls.windowFlips);
+    }
+    ls.lastRequester = requester;
+}
+
+void
+CoherenceProfiler::noteRemoteRead(mem::Addr line, int requester,
+                                  int supplier, std::uint32_t bytes,
+                                  sim::Tick now)
+{
+    LineStats &ls = statsFor(line);
+    ls.remoteReads++;
+    ls.bytes += bytes;
+    noteAlternation(ls, requester, now);
+    MatrixCell &c = matrix_[{ls.nameIdx, requester, supplier}];
+    c.reads++;
+    c.bytes += bytes;
+}
+
+void
+CoherenceProfiler::noteRemoteRfo(mem::Addr line, int requester,
+                                 int supplier, std::uint32_t bytes,
+                                 sim::Tick now)
+{
+    LineStats &ls = statsFor(line);
+    ls.remoteRfos++;
+    ls.bytes += bytes;
+    noteAlternation(ls, requester, now);
+    MatrixCell &c = matrix_[{ls.nameIdx, requester, supplier}];
+    c.rfos++;
+    c.bytes += bytes;
+}
+
+void
+CoherenceProfiler::noteInvalidation(mem::Addr line, sim::Tick now)
+{
+    (void)now;
+    statsFor(line).invalidations++;
+}
+
+void
+CoherenceProfiler::noteMigratory(mem::Addr line, int new_owner,
+                                 int prev_owner, sim::Tick now)
+{
+    (void)prev_owner;
+    LineStats &ls = statsFor(line);
+    ls.migratory++;
+    noteAlternation(ls, new_owner, now);
+}
+
+const char *
+CoherenceProfiler::classify(const LineStats &ls) const
+{
+    if (ls.peakWindowFlips < flipThreshold_)
+        return "-";
+    if (ls.multiRegion)
+        return "false_sharing";
+    if (ls.nameIdx != 0 && ls.intent == RegionIntent::TwoWay)
+        return "two_way";
+    return "thrash";
+}
+
+std::string
+CoherenceProfiler::lineClass(mem::Addr line) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return "-";
+    return classify(it->second);
+}
+
+std::string
+CoherenceProfiler::lineRegion(mem::Addr line) const
+{
+    LineStats ls;
+    resolveRegion(line, ls);
+    return Ledger::get().names[static_cast<std::size_t>(ls.nameIdx)];
+}
+
+void
+CoherenceProfiler::collectInto(std::map<int, RegionAgg> &regions,
+                               std::vector<HotLine> &hot,
+                               std::map<MatrixKey, MatrixCell> &matrix)
+    const
+{
+    for (const auto &[line, ls] : lines_) {
+        RegionAgg &agg = regions[ls.nameIdx];
+        if (ls.nameIdx != 0 && !agg.intentKnown) {
+            agg.intent = ls.intent;
+            agg.intentKnown = true;
+        }
+        agg.lines++;
+        agg.remoteReads += ls.remoteReads;
+        agg.remoteRfos += ls.remoteRfos;
+        agg.invalidations += ls.invalidations;
+        agg.migratory += ls.migratory;
+        agg.bytes += ls.bytes;
+        const char *cls = classify(ls);
+        if (cls[0] != '-')
+            agg.pingpongLines++;
+
+        HotLine h;
+        h.nameIdx = ls.nameIdx;
+        h.offset = ls.nameIdx != 0 ? line - ls.regionBase : line;
+        h.remoteReads = ls.remoteReads;
+        h.remoteRfos = ls.remoteRfos;
+        h.invalidations = ls.invalidations;
+        h.migratory = ls.migratory;
+        h.bytes = ls.bytes;
+        h.flips = ls.flips;
+        h.peakWindowFlips = ls.peakWindowFlips;
+        h.cls = cls;
+        hot.push_back(h);
+    }
+    if (hot.size() > kHotRetain) {
+        std::partial_sort(
+            hot.begin(),
+            hot.begin() + static_cast<std::ptrdiff_t>(kHotRetain),
+            hot.end(), [](const HotLine &a, const HotLine &b) {
+                return a.traffic() > b.traffic();
+            });
+        hot.resize(kHotRetain);
+    }
+    for (const auto &[key, cell] : matrix_) {
+        MatrixCell &c = matrix[key];
+        c.reads += cell.reads;
+        c.rfos += cell.rfos;
+        c.bytes += cell.bytes;
+    }
+}
+
+void
+CoherenceProfiler::fold()
+{
+    Ledger &l = Ledger::get();
+    collectInto(l.regions, l.hot, l.matrix);
+    clearLocal();
+}
+
+void
+CoherenceProfiler::clearLocal()
+{
+    lines_.clear();
+    matrix_.clear();
+}
+
+void
+CoherenceProfiler::clearLedger()
+{
+    Ledger &l = Ledger::get();
+    l.regions.clear();
+    l.hot.clear();
+    l.matrix.clear();
+    for (CoherenceProfiler *p : l.live)
+        p->clearLocal();
+}
+
+stats::Table
+CoherenceProfiler::regionTable()
+{
+    Ledger &l = Ledger::get();
+    std::map<int, RegionAgg> regions = l.regions;
+    std::vector<HotLine> hot;
+    std::map<MatrixKey, MatrixCell> matrix;
+    for (const CoherenceProfiler *p : l.live)
+        p->collectInto(regions, hot, matrix);
+    regions[0]; // The "unknown" row is always reported, even at zero.
+
+    // Sort by name for stable baselines; "unknown" sorts naturally.
+    std::vector<std::pair<std::string, const RegionAgg *>> rows;
+    rows.reserve(regions.size());
+    for (const auto &[idx, agg] : regions) {
+        rows.emplace_back(l.names[static_cast<std::size_t>(idx)],
+                          &agg);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    stats::Table t({"region", "intent", "lines", "remote_reads",
+                    "remote_rfos", "invalidations", "migratory",
+                    "bytes", "pingpong_lines"});
+    for (const auto &[name, agg] : rows) {
+        t.row()
+            .cell(name)
+            .cell(std::string(agg->intentKnown
+                                  ? regionIntentName(agg->intent)
+                                  : "-"))
+            .cell(agg->lines)
+            .cell(agg->remoteReads)
+            .cell(agg->remoteRfos)
+            .cell(agg->invalidations)
+            .cell(agg->migratory)
+            .cell(agg->bytes)
+            .cell(agg->pingpongLines);
+    }
+    return t;
+}
+
+stats::Table
+CoherenceProfiler::hotLineTable(std::size_t top_n)
+{
+    Ledger &l = Ledger::get();
+    std::map<int, RegionAgg> regions = l.regions;
+    std::vector<HotLine> hot = l.hot;
+    std::map<MatrixKey, MatrixCell> matrix;
+    for (const CoherenceProfiler *p : l.live)
+        p->collectInto(regions, hot, matrix);
+
+    std::sort(hot.begin(), hot.end(),
+              [](const HotLine &a, const HotLine &b) {
+                  if (a.traffic() != b.traffic())
+                      return a.traffic() > b.traffic();
+                  return a.flips > b.flips;
+              });
+    if (hot.size() > top_n)
+        hot.resize(top_n);
+
+    stats::Table t({"rank", "region", "offset", "remote_reads",
+                    "remote_rfos", "invalidations", "migratory",
+                    "bytes", "flips", "peak_window_flips", "class"});
+    int rank = 1;
+    for (const HotLine &h : hot) {
+        t.row()
+            .cell(rank++)
+            .cell(l.names[static_cast<std::size_t>(h.nameIdx)])
+            .cell(h.offset)
+            .cell(h.remoteReads)
+            .cell(h.remoteRfos)
+            .cell(h.invalidations)
+            .cell(h.migratory)
+            .cell(h.bytes)
+            .cell(h.flips)
+            .cell(static_cast<std::uint64_t>(h.peakWindowFlips))
+            .cell(std::string(h.cls));
+    }
+    return t;
+}
+
+stats::Table
+CoherenceProfiler::matrixTable()
+{
+    Ledger &l = Ledger::get();
+    std::map<int, RegionAgg> regions;
+    std::vector<HotLine> hot;
+    std::map<MatrixKey, MatrixCell> matrix = l.matrix;
+    for (const CoherenceProfiler *p : l.live)
+        p->collectInto(regions, hot, matrix);
+
+    stats::Table t({"region", "requester", "supplier", "reads", "rfos",
+                    "bytes"});
+    for (const auto &[key, cell] : matrix) {
+        const auto &[idx, req, sup] = key;
+        t.row()
+            .cell(l.names[static_cast<std::size_t>(idx)])
+            .cell(req)
+            .cell(sup < 0 ? std::string("home") : std::to_string(sup))
+            .cell(cell.reads)
+            .cell(cell.rfos)
+            .cell(cell.bytes);
+    }
+    return t;
+}
+
+double
+CoherenceProfiler::attributedFraction()
+{
+    Ledger &l = Ledger::get();
+    std::map<int, RegionAgg> regions = l.regions;
+    std::vector<HotLine> hot;
+    std::map<MatrixKey, MatrixCell> matrix;
+    for (const CoherenceProfiler *p : l.live)
+        p->collectInto(regions, hot, matrix);
+
+    std::uint64_t total = 0;
+    std::uint64_t named = 0;
+    for (const auto &[idx, agg] : regions) {
+        const std::uint64_t traffic =
+            agg.remoteReads + agg.remoteRfos;
+        total += traffic;
+        if (idx != 0)
+            named += traffic;
+    }
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(named) / static_cast<double>(total);
+}
+
+} // namespace ccn::obs

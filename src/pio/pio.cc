@@ -139,6 +139,45 @@ PioNic::PioNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
     hostBeat_ =
         std::make_unique<driver::RegisterLine>(mem_, hostSocket_);
     nicBeat_ = std::make_unique<driver::RegisterLine>(mem_, nicSocket_);
+    registerProfRegions();
+}
+
+PioNic::~PioNic() { unregisterProfRegions(); }
+
+void
+PioNic::registerProfRegions()
+{
+    auto &prof = mem_.profiler();
+    // Every slot line is an intentional two-way handoff: the producer
+    // publishes and the consumer flips the credit back in place.
+    const auto intent = obs::RegionIntent::TwoWay;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(cfg_.numSlots) * slotBytes();
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        const auto qi = std::to_string(q);
+        auto &qu = *queues_[q];
+        profRegions_.push_back(prof.registerRegion(
+            cfg_.spanPath + ".tx_slots[q" + qi + "]", qu.txBase, bytes,
+            intent));
+        profRegions_.push_back(prof.registerRegion(
+            cfg_.spanPath + ".rx_slots[q" + qi + "]", qu.rxBase, bytes,
+            intent));
+    }
+    profRegions_.push_back(
+        prof.registerRegion(cfg_.spanPath + ".host_beat",
+                            hostBeat_->addr(), mem::kLineBytes, intent));
+    profRegions_.push_back(
+        prof.registerRegion(cfg_.spanPath + ".nic_beat",
+                            nicBeat_->addr(), mem::kLineBytes, intent));
+}
+
+void
+PioNic::unregisterProfRegions()
+{
+    auto &prof = mem_.profiler();
+    for (auto id : profRegions_)
+        prof.unregisterRegion(id);
+    profRegions_.clear();
 }
 
 void
@@ -353,6 +392,10 @@ PioNic::reinit()
 {
     assert(devState_ == DevState::Down);
     co_await sim_.delay(cycles(cfg_.nicCosts.perLoop * 8));
+    // Reset does not reallocate slot arrays or beat lines: ranges are
+    // identical, so re-registration must not leak region slots.
+    unregisterProfRegions();
+    registerProfRegions();
     wedged_ = false;
     devState_ = DevState::Running;
     runGate_.notifyAll();

@@ -157,6 +157,7 @@ class PioNic : public driver::NicInterface
     PioNic(sim::Simulator &sim, mem::CoherentSystem &mem_system,
            const Config &config, int host_socket, int nic_socket,
            sim::Rng &rng);
+    ~PioNic();
 
     /** Spawn the device-side processes. Call once before running. */
     void start();
@@ -473,6 +474,13 @@ class PioNic : public driver::NicInterface
     sim::Gate runGate_; ///< Parks device engines while not Running.
     std::unique_ptr<driver::RegisterLine> hostBeat_;
     std::unique_ptr<driver::RegisterLine> nicBeat_;
+
+    /// @name Coherence-profiler regions ("<spanPath>.*").
+    /// @{
+    void registerProfRegions();
+    void unregisterProfRegions();
+    std::vector<obs::RegionId> profRegions_;
+    /// @}
 };
 
 } // namespace ccn::pio

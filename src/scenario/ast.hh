@@ -135,6 +135,9 @@ struct ScenarioSpec
     std::string name = "scenario";
     std::string file; ///< Source path (diagnostics, reports).
     std::string platform = "icx"; ///< icx | spr.
+    /// `profile coherence;` — enable the line-level coherence
+    /// contention profiler for every host in the run.
+    bool profileCoherence = false;
     std::vector<HostSpec> hosts;
     std::vector<LinkSpec> links;
     WorkloadSpec workload;

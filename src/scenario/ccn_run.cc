@@ -6,7 +6,8 @@
  * timeseries) so tools/counters_gate.py gates scenario runs exactly
  * like bench runs.
  *
- * Usage: ccn_run [--quiet] [--trace <file>] <scenario.ccn>
+ * Usage: ccn_run [--quiet] [--trace <file>] [--profile-coherence]
+ *        <scenario.ccn>
  *
  * Exit codes: 0 run complete, 1 runtime failure, 2 scenario
  * parse/validation error (diagnostic on stderr as file:line:col).
@@ -16,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/coherence_profiler.hh"
 #include "obs/trace.hh"
 #include "scenario/parser.hh"
 #include "scenario/runner.hh"
@@ -26,7 +28,7 @@ int
 usage()
 {
     std::cerr << "usage: ccn_run [--quiet] [--trace <file>] "
-                 "<scenario.ccn>\n";
+                 "[--profile-coherence] <scenario.ccn>\n";
     return 2;
 }
 
@@ -45,6 +47,8 @@ main(int argc, char **argv)
         } else if (a == "--trace" && i + 1 < argc) {
             trace_file = argv[++i];
             ccn::obs::Trace::global().enable(1 << 18);
+        } else if (a == "--profile-coherence") {
+            ccn::obs::CoherenceProfiler::setDefaultEnabled(true);
         } else if (!a.empty() && a[0] == '-') {
             return usage();
         } else if (path.empty()) {

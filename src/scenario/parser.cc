@@ -112,6 +112,14 @@ class Parser
                 fail(t, "unknown platform '" + spec.platform +
                             "' (expected icx or spr)");
             semi();
+        } else if (kw.text == "profile") {
+            const Token t = peek();
+            const std::string what = expectIdent("a profile target");
+            if (what != "coherence")
+                fail(t, "unknown profile target '" + what +
+                            "' (only coherence is defined)");
+            spec.profileCoherence = true;
+            semi();
         } else if (kw.text == "host") {
             hostBlock(spec);
         } else if (kw.text == "link") {

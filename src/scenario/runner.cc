@@ -455,6 +455,23 @@ runScenario(const ScenarioSpec &spec, bool quiet)
     // cleanly (the gate's invariants are ratio- and zero-based).
     obs::Sampler::clearRows();
 
+    // `profile coherence;` turns the line-level contention profiler on
+    // for every memory system this run builds; restore the previous
+    // default on exit so scenarios in one process don't leak state.
+    const bool prev_prof = obs::CoherenceProfiler::defaultEnabled();
+    if (spec.profileCoherence) {
+        obs::CoherenceProfiler::setDefaultEnabled(true);
+        obs::CoherenceProfiler::clearLedger();
+    }
+    struct ProfRestore
+    {
+        bool prev;
+        ~ProfRestore()
+        {
+            obs::CoherenceProfiler::setDefaultEnabled(prev);
+        }
+    } prof_restore{prev_prof};
+
     const char *mode = spec.sweep.present ? "sweep"
                        : spec.replay.present
                            ? "replay"

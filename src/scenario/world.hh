@@ -31,6 +31,7 @@
 #include "mem/platform.hh"
 #include "net/fabric.hh"
 #include "nic/pcie_nic.hh"
+#include "obs/coherence_profiler.hh"
 #include "obs/obs.hh"
 #include "obs/sampler.hh"
 #include "obs/span.hh"
@@ -71,6 +72,14 @@ struct World
  *    the sampled span table (paper Fig 7/11 stage decomposition).
  *  - "timeseries": interval snapshots of counter deltas / gauge
  *    changes recorded by each World's Sampler.
+ *
+ * Plus the coherence-profiler sections (all-zero counts unless the
+ * run enabled profiling via --profile-coherence / `profile
+ * coherence;` — the region registry itself is always active):
+ *
+ *  - "coherence": per-region traffic totals with attribution.
+ *  - "coherence_hotlines": top contended lines, perf-c2c style.
+ *  - "coherence_matrix": region x (requester, supplier) traffic.
  */
 inline void
 addObsSections(stats::JsonReport &json)
@@ -78,6 +87,10 @@ addObsSections(stats::JsonReport &json)
     json.add("counters", obs::Registry::global().snapshot());
     json.add("latency", obs::SpanTable::global().table());
     json.add("timeseries", obs::Sampler::table());
+    json.add("coherence", obs::CoherenceProfiler::regionTable());
+    json.add("coherence_hotlines",
+             obs::CoherenceProfiler::hotLineTable());
+    json.add("coherence_matrix", obs::CoherenceProfiler::matrixTable());
 }
 
 /**

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Coherence contention profiler tests: region-registry lifecycle
+ * (overlap rejection, idempotent unregister, hot-reset
+ * re-registration without leaked slots), the windowed ping-pong
+ * detector on synthetic traces, zero overhead when disabled (the
+ * profiler never perturbs simulation results), and end-to-end
+ * attribution coverage on a CC-NIC loopback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "ccnic/ccnic.hh"
+#include "mem/platform.hh"
+#include "obs/coherence_profiler.hh"
+#include "workload/loopback.hh"
+
+namespace {
+
+using namespace ccn;
+using obs::CoherenceProfiler;
+using obs::RegionIntent;
+
+/** One host with a loopback CC-NIC. */
+struct World
+{
+    explicit World(int queues = 1)
+        : plat(mem::icxConfig()), system(simv, plat), rng(7),
+          nic(std::make_unique<ccnic::CcNic>(
+              simv, system, ccnic::optimizedConfig(queues, 0, plat),
+              /*host=*/0, /*nic=*/1, rng))
+    {
+        nic->start();
+    }
+
+    mem::PlatformConfig plat;
+    sim::Simulator simv;
+    mem::CoherentSystem system;
+    sim::Rng rng;
+    std::unique_ptr<ccnic::CcNic> nic;
+};
+
+/** Restore the process-wide default-enable flag and ledger on exit. */
+struct ProfilerGuard
+{
+    bool prev = CoherenceProfiler::defaultEnabled();
+    ~ProfilerGuard()
+    {
+        CoherenceProfiler::setDefaultEnabled(prev);
+        CoherenceProfiler::clearLedger();
+    }
+};
+
+TEST(ProfilerRegistry, RejectsOverlapsAcceptsDisjointSameName)
+{
+    CoherenceProfiler p;
+    const auto a = p.registerRegion("ring", 0x10000, 256,
+                                    RegionIntent::Owned);
+    EXPECT_EQ(p.regionCount(), 1u);
+
+    // Any byte overlap is rejected: tail, head, and containment.
+    EXPECT_THROW(p.registerRegion("other", 0x100f0, 64,
+                                  RegionIntent::Owned),
+                 std::invalid_argument);
+    EXPECT_THROW(p.registerRegion("other", 0x0ff80, 0x100,
+                                  RegionIntent::Owned),
+                 std::invalid_argument);
+    EXPECT_THROW(p.registerRegion("other", 0x10040, 8,
+                                  RegionIntent::Owned),
+                 std::invalid_argument);
+    EXPECT_EQ(p.regionCount(), 1u);
+
+    // The same *name* may span several disjoint ranges (a stripe's
+    // stack and index line both report as one region).
+    const auto b = p.registerRegion("ring", 0x20000, 64,
+                                    RegionIntent::Owned);
+    EXPECT_EQ(p.regionCount(), 2u);
+    EXPECT_EQ(p.lineRegion(0x10000), "ring");
+    EXPECT_EQ(p.lineRegion(0x20000), "ring");
+    EXPECT_EQ(p.lineRegion(0x30000), "unknown");
+
+    // Unregister is idempotent and frees the range for reuse.
+    p.unregisterRegion(a);
+    EXPECT_EQ(p.regionCount(), 1u);
+    p.unregisterRegion(a);
+    EXPECT_EQ(p.regionCount(), 1u);
+    EXPECT_EQ(p.lineRegion(0x10000), "unknown");
+    EXPECT_NO_THROW(p.registerRegion("reused", 0x10000, 256,
+                                     RegionIntent::TwoWay));
+    p.unregisterRegion(b);
+    EXPECT_EQ(p.regionCount(), 1u);
+}
+
+sim::Task
+hotResetTask(World &w, bool *done)
+{
+    co_await w.simv.delay(sim::fromUs(5.0));
+    co_await w.nic->quiesce();
+    co_await w.nic->reset();
+    co_await w.nic->reinit();
+    *done = true;
+    co_return;
+}
+
+TEST(ProfilerRegistry, HotResetReRegistersWithoutLeakingSlots)
+{
+    ProfilerGuard guard;
+    World w(2);
+    // The CC-NIC registered its rings/signals/beat lines and the pool
+    // registered its stripes at construction.
+    const std::size_t count = w.system.profiler().regionCount();
+    EXPECT_GT(count, 0u);
+
+    bool done = false;
+    w.simv.spawn(hotResetTask(w, &done));
+    w.simv.run(sim::fromUs(200.0));
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(w.nic->operational());
+
+    // Function-level reset keeps ring storage at stable addresses;
+    // reinit() must re-register exactly what it unregistered.
+    EXPECT_EQ(w.system.profiler().regionCount(), count);
+
+    // Teardown unregisters everything the NIC owns.
+    const std::size_t nic_owned = count;
+    w.nic.reset();
+    EXPECT_LT(w.system.profiler().regionCount(), nic_owned);
+}
+
+TEST(ProfilerDetector, ClassifiesSyntheticAlternationTraces)
+{
+    ProfilerGuard guard;
+    CoherenceProfiler::clearLedger();
+    CoherenceProfiler p;
+    p.enable(true);
+    p.setWindow(sim::fromUs(5.0));
+    ASSERT_EQ(p.flipThreshold(), 8u);
+
+    const mem::Addr sig = 0x1000;   // Intended two-way signal line.
+    const mem::Addr ring = 0x2000;  // Single-writer ring line.
+    const mem::Addr shared = 0x3000; // Two regions on one line.
+    const mem::Addr nameless = 0x4000; // No registration at all.
+    const mem::Addr quiet = 0x5000; // Below the flip threshold.
+    p.registerRegion("sig", sig, 64, RegionIntent::TwoWay);
+    p.registerRegion("ring", ring, 64, RegionIntent::Owned);
+    p.registerRegion("half_a", shared, 32, RegionIntent::Owned);
+    p.registerRegion("half_b", shared + 32, 32, RegionIntent::Owned);
+    p.registerRegion("quiet", quiet, 64, RegionIntent::Owned);
+
+    // 20 ownership alternations per line, all inside one window.
+    sim::Tick now = 0;
+    for (int i = 0; i < 20; ++i) {
+        const int req = i & 1;
+        p.noteRemoteRfo(sig, req, 1 - req, 64, now);
+        p.noteRemoteRfo(ring, req, 1 - req, 64, now);
+        p.noteRemoteRfo(shared, req, 1 - req, 64, now);
+        p.noteRemoteRfo(nameless, req, 1 - req, 64, now);
+        now += sim::fromNs(100.0);
+    }
+    // Alternations on an intended-two-way region are the design
+    // working; the same trace on a single-writer region is thrash,
+    // and on a line split between regions it is false sharing.
+    EXPECT_EQ(p.lineClass(sig), "two_way");
+    EXPECT_EQ(p.lineClass(ring), "thrash");
+    EXPECT_EQ(p.lineClass(shared), "false_sharing");
+    EXPECT_EQ(p.lineClass(nameless), "thrash");
+    EXPECT_EQ(p.lineClass(0x9000), "-"); // Never touched.
+
+    // Sparse alternations never accumulate in one window: 20 flips
+    // spread a window apart each stay below the threshold.
+    for (int i = 0; i < 20; ++i) {
+        p.noteRemoteRfo(quiet, i & 1, 1 - (i & 1), 64, now);
+        now += sim::fromUs(6.0); // > window
+    }
+    EXPECT_EQ(p.lineClass(quiet), "-");
+
+    // Same-requester traffic is not an alternation.
+    const mem::Addr mono = 0x6000;
+    for (int i = 0; i < 20; ++i) {
+        p.noteRemoteRead(mono, 0, -1, 64, now);
+        now += sim::fromNs(100.0);
+    }
+    EXPECT_EQ(p.lineClass(mono), "-");
+    EXPECT_EQ(p.lineCount(), 6u);
+}
+
+TEST(ProfilerOverhead, DisabledProfilerRecordsNothing)
+{
+    ProfilerGuard guard;
+    CoherenceProfiler p;
+    ASSERT_FALSE(p.enabled());
+    p.registerRegion("r", 0x1000, 64, RegionIntent::TwoWay);
+    // Hooks behind the enabled() guard are never reached when
+    // disabled; calling them directly while disabled still must not
+    // be done by the memory system — this checks the profiler's own
+    // state stays empty across a run with profiling off.
+    EXPECT_EQ(p.lineCount(), 0u);
+}
+
+/** Loopback counters + results for one identically-seeded run. */
+struct RunSnapshot
+{
+    std::vector<mem::AgentCounters> counters;
+    std::uint64_t rxPackets = 0;
+    double minNs = 0;
+    std::size_t lineCount = 0;
+};
+
+RunSnapshot
+runLoopbackWorld(bool profile)
+{
+    CoherenceProfiler::setDefaultEnabled(profile);
+    World w;
+    workload::LoopbackConfig cfg;
+    cfg.threads = 1;
+    cfg.closedWindow = 1;
+    cfg.window = sim::fromUs(200.0);
+    auto r = workload::runLoopback(w.simv, w.system, *w.nic, cfg);
+    RunSnapshot s;
+    for (int a = 0; a < w.system.numAgents(); ++a)
+        s.counters.push_back(w.system.counters(a));
+    s.rxPackets = r.rxPackets;
+    s.minNs = r.minNs;
+    s.lineCount = w.system.profiler().lineCount();
+    return s;
+}
+
+TEST(ProfilerOverhead, EnabledRunIsBitIdenticalToDisabledRun)
+{
+    ProfilerGuard guard;
+    CoherenceProfiler::clearLedger();
+    const auto off = runLoopbackWorld(false);
+    CoherenceProfiler::clearLedger();
+    const auto on = runLoopbackWorld(true);
+
+    // The hooks add no simulated latency and touch no protocol
+    // state: every per-agent counter and the workload results must
+    // match exactly between the profiled and unprofiled runs.
+    EXPECT_EQ(off.lineCount, 0u);
+    EXPECT_GT(on.lineCount, 0u);
+    EXPECT_GT(off.rxPackets, 100u);
+    EXPECT_EQ(off.rxPackets, on.rxPackets);
+    EXPECT_EQ(off.minNs, on.minNs);
+    ASSERT_EQ(off.counters.size(), on.counters.size());
+    for (std::size_t a = 0; a < off.counters.size(); ++a) {
+        const auto &x = off.counters[a];
+        const auto &y = on.counters[a];
+        EXPECT_EQ(x.loads, y.loads) << "agent " << a;
+        EXPECT_EQ(x.stores, y.stores) << "agent " << a;
+        EXPECT_EQ(x.l2Hits, y.l2Hits) << "agent " << a;
+        EXPECT_EQ(x.l2Misses, y.l2Misses) << "agent " << a;
+        EXPECT_EQ(x.llcHits, y.llcHits) << "agent " << a;
+        EXPECT_EQ(x.dramReads, y.dramReads) << "agent " << a;
+        EXPECT_EQ(x.remoteReads, y.remoteReads) << "agent " << a;
+        EXPECT_EQ(x.remoteRfos, y.remoteRfos) << "agent " << a;
+        EXPECT_EQ(x.prefetchIssued, y.prefetchIssued)
+            << "agent " << a;
+        EXPECT_EQ(x.prefetchRemote, y.prefetchRemote)
+            << "agent " << a;
+    }
+}
+
+TEST(ProfilerAttribution, CcNicLoopbackResolvesAtLeast95Percent)
+{
+    ProfilerGuard guard;
+    CoherenceProfiler::clearLedger();
+    CoherenceProfiler::setDefaultEnabled(true);
+    {
+        World w;
+        workload::LoopbackConfig cfg;
+        cfg.threads = 1;
+        cfg.closedWindow = 4;
+        cfg.window = sim::fromUs(200.0);
+        auto r = workload::runLoopback(w.simv, w.system, *w.nic, cfg);
+        EXPECT_GT(r.rxPackets, 100u);
+        // Live snapshot: every ring, signal, beat, and pool line the
+        // loopback touches is registered, so nearly all remote
+        // traffic resolves to a named region (ISSUE acceptance bar).
+        EXPECT_GE(CoherenceProfiler::attributedFraction(), 0.95);
+    }
+    // The ledger keeps the attribution across world teardown (the
+    // retire-on-destruction fold benches rely on).
+    EXPECT_GE(CoherenceProfiler::attributedFraction(), 0.95);
+}
+
+} // namespace

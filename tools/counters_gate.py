@@ -45,6 +45,19 @@ built-in invariants plus (optionally) a checked-in baseline:
     false-positives regressed. Lossy baselines instead band the
     escalation counts via "absolute".
 
+ 6. Per-region coherence bands (baseline key "coherence"): when the
+    report carries the profiler's "coherence" section, region rows
+    are aggregated by name prefix ("ccnic." matches
+    ccnic.tx_ring[q0], ccnic.host_beat, ...) and each listed metric
+    (remote_reads / remote_rfos / invalidations / migratory / bytes)
+    is normalized per delivered packet and banded against the
+    recorded expectation, exactly like "per_packet" counters. The
+    optional "min_attribution" field requires that at least that
+    fraction of remote reads+RFOs resolve to a named region (the
+    "unknown" row holds the rest); "max_pingpong" pins the ping-pong
+    line count of a prefix (accidental false sharing creeping into a
+    region that should stay quiet).
+
 The rate check (3) looks for the time-series section whose name
 derives from the counter section's ("counters*" -> "timeseries*").
 
@@ -354,9 +367,156 @@ def check_baseline(c: dict, kinds: dict, baseline: dict,
               f"events -> {verdict}")
 
 
+def coherence_rows(sections: dict):
+    """Rows of the profiler's per-region section, or None."""
+    sec = sections.get("coherence")
+    return None if sec is None else sec["rows"]
+
+
+COHERENCE_METRICS = ["remote_reads", "remote_rfos", "invalidations",
+                     "migratory", "bytes"]
+
+
+def aggregate_regions(rows: list, prefix: str) -> dict:
+    """Sum the per-region metrics over regions matching a prefix."""
+    agg = {m: 0.0 for m in COHERENCE_METRICS}
+    agg["pingpong_lines"] = 0.0
+    agg["_matched"] = 0
+    for r in rows:
+        if not r["region"].startswith(prefix):
+            continue
+        agg["_matched"] += 1
+        for m in COHERENCE_METRICS:
+            agg[m] += float(r[m])
+        agg["pingpong_lines"] += float(r["pingpong_lines"])
+    return agg
+
+
+def check_coherence(sections: dict, c: dict, coh: dict,
+                    tolerance: float, failures: list) -> None:
+    """Band per-region-prefix coherence traffic against a baseline.
+
+    Baseline shape (under the top-level "coherence" key):
+      "normalize_by":   packet counter for the per-packet bands
+                        (default: the family fallback list)
+      "min_attribution": required fraction of remote reads+RFOs
+                        resolved to named (non-"unknown") regions
+      "regions": { "<prefix>": {"remote_reads": X, ...,
+                                "max_pingpong": N} }
+    Metric bands are per-packet like "per_packet" counters; the
+    optional "max_pingpong" is an absolute line count.
+    """
+    rows = coherence_rows(sections)
+    if rows is None:
+        failures.append(
+            "baseline has a 'coherence' section but the report "
+            "carries none (bench run without --profile-coherence?)")
+        return
+    tol = coh.get("tolerance", tolerance)
+
+    min_attr = coh.get("min_attribution")
+    if min_attr is not None:
+        total = attributed = 0.0
+        for r in rows:
+            t = float(r["remote_reads"]) + float(r["remote_rfos"])
+            total += t
+            if r["region"] != "unknown":
+                attributed += t
+        frac = attributed / total if total else 1.0
+        print(f"coherence attribution: {100.0 * frac:.1f}% "
+              f"(required {100.0 * float(min_attr):.1f}%)")
+        if total == 0:
+            failures.append(
+                "coherence section recorded no remote reads/RFOs "
+                "(profiler disabled?)")
+        elif frac < float(min_attr):
+            failures.append(
+                f"coherence attribution {frac:.3f} below required "
+                f"{float(min_attr):.3f}")
+
+    norm_name = coh.get("normalize_by") or pick_normalizer(c)
+    norm = c.get(norm_name, 0.0) if norm_name else 0.0
+    for prefix, bands in coh.get("regions", {}).items():
+        agg = aggregate_regions(rows, prefix)
+        if agg["_matched"] == 0:
+            failures.append(
+                f"coherence baseline prefix '{prefix}' matches no "
+                "region in the report")
+            continue
+        for metric, entry in bands.items():
+            if metric == "max_pingpong":
+                limit = float(entry)
+                if agg["pingpong_lines"] > limit:
+                    failures.append(
+                        f"coherence {prefix}: "
+                        f"{agg['pingpong_lines']:.0f} ping-pong "
+                        f"lines exceed bound {limit:.0f} (false "
+                        "sharing / thrash crept into the region)")
+                else:
+                    print(f"coherence {prefix} pingpong_lines: "
+                          f"{agg['pingpong_lines']:.0f} <= "
+                          f"{limit:.0f} -> ok")
+                continue
+            if metric not in COHERENCE_METRICS:
+                failures.append(
+                    f"coherence baseline lists unknown metric "
+                    f"'{metric}' for prefix '{prefix}'")
+                continue
+            if norm <= 0:
+                failures.append(
+                    f"coherence normalizer "
+                    f"'{norm_name or '<none>'}' missing or zero")
+                break
+            expected = float(entry)
+            per_pkt = agg[metric] / norm
+            bound = expected * (1.0 + tol)
+            verdict = "ok"
+            if per_pkt > bound:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"coherence {prefix}{metric}: {per_pkt:.4f} per "
+                    f"packet exceeds baseline {expected:.4f} "
+                    f"(+{tol * 100:.0f}% tolerance = {bound:.4f})")
+            elif per_pkt < expected * (1.0 - tol):
+                verdict = "improved (consider refreshing baseline)"
+            print(f"coherence {prefix}{metric}: {per_pkt:.4f}/pkt "
+                  f"vs {expected:.4f}/pkt -> {verdict}")
+
+
+def write_coherence_baseline(sections: dict, c: dict,
+                             tolerance: float):
+    """Per-prefix coherence bands for --write-baseline, or None."""
+    rows = coherence_rows(sections)
+    if not rows:
+        return None
+    norm_name = pick_normalizer(c)
+    if norm_name is None:
+        return None
+    norm = c[norm_name]
+    prefixes = sorted({r["region"].split(".", 1)[0] + "."
+                       for r in rows if r["region"] != "unknown"})
+    regions = {}
+    for prefix in prefixes:
+        agg = aggregate_regions(rows, prefix)
+        if all(agg[m] == 0 for m in COHERENCE_METRICS):
+            continue
+        bands = {m: round(agg[m] / norm, 6)
+                 for m in COHERENCE_METRICS if agg[m] > 0}
+        bands["max_pingpong"] = round(agg["pingpong_lines"])
+        regions[prefix] = bands
+    if not regions:
+        return None
+    return {
+        "normalize_by": norm_name,
+        "tolerance": tolerance,
+        "min_attribution": 0.95,
+        "regions": regions,
+    }
+
+
 def write_baseline(c: dict, kinds: dict, out_path: str,
                    tolerance: float, section: str,
-                   lossy: bool = False) -> None:
+                   lossy: bool = False, sections: dict = None) -> None:
     norm_name = pick_normalizer(c)
     if norm_name is None:
         raise SystemExit(
@@ -396,6 +556,10 @@ def write_baseline(c: dict, kinds: dict, out_path: str,
         esc = {k: round(v) for k, v in escalation_counters(c).items()}
         if esc:
             doc["absolute"] = esc
+    if sections is not None:
+        coh = write_coherence_baseline(sections, c, tolerance)
+        if coh is not None:
+            doc["coherence"] = coh
     os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -419,6 +583,9 @@ def run_gate(report: str, baseline_path: str,
     check_timeseries(sections, section, failures, lossy)
     if baseline is not None:
         check_baseline(c, kinds, baseline, tolerance, failures)
+        if "coherence" in baseline:
+            check_coherence(sections, c, baseline["coherence"],
+                            tolerance, failures)
     if failures:
         for msg in failures:
             print(f"FAIL: {msg}", file=sys.stderr)
@@ -735,6 +902,107 @@ def selftest() -> int:
                   "escalation band", file=sys.stderr)
             return 1
 
+        # Coherence bands: region traffic grouped by prefix and
+        # normalized per packet must band like ordinary counters, the
+        # attribution floor must hold, and a ping-pong blowout in a
+        # should-be-quiet region must fail.
+        def coherent_report(ring_reads: float, pingpong: int) -> dict:
+            doc = _synthetic_report(signal_reads=670000)
+            doc["sections"]["coherence"] = {
+                "columns": ["region", "intent", "lines",
+                            "remote_reads", "remote_rfos",
+                            "invalidations", "migratory", "bytes",
+                            "pingpong_lines"],
+                "rows": [
+                    {"region": "ccnic.tx_ring[q0]",
+                     "intent": "two_way", "lines": 128,
+                     "remote_reads": ring_reads,
+                     "remote_rfos": 50000, "invalidations": 50000,
+                     "migratory": 90000, "bytes": 9600000,
+                     "pingpong_lines": 0},
+                    {"region": "pool.bufs_large", "intent": "owned",
+                     "lines": 400, "remote_reads": 120000,
+                     "remote_rfos": 40000, "invalidations": 9000,
+                     "migratory": 1000, "bytes": 15000000,
+                     "pingpong_lines": pingpong},
+                    {"region": "unknown", "intent": "-", "lines": 0,
+                     "remote_reads": 1000, "remote_rfos": 0,
+                     "invalidations": 0, "migratory": 0, "bytes": 0,
+                     "pingpong_lines": 0},
+                ],
+            }
+            return doc
+
+        coh_bl = dict(baseline)
+        coh_bl["coherence"] = {
+            "normalize_by": "ccnic.rx_delivered",
+            "min_attribution": 0.95,
+            "regions": {
+                "ccnic.": {"remote_reads": 1.0,
+                           "remote_rfos": 0.5},
+                "pool.": {"remote_reads": 1.2, "max_pingpong": 4},
+            },
+        }
+        cbl = os.path.join(td, "coh_baseline.json")
+        with open(cbl, "w", encoding="utf-8") as f:
+            json.dump(coh_bl, f)
+        cclean = os.path.join(td, "coh_clean.json")
+        with open(cclean, "w", encoding="utf-8") as f:
+            json.dump(coherent_report(ring_reads=100000, pingpong=2),
+                      f)
+        if run_gate(cclean, cbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) != 0:
+            print("SELFTEST FAIL: clean coherence report rejected",
+                  file=sys.stderr)
+            return 1
+
+        # 3x remote-read blowup on the ring prefix must fail.
+        cbad = os.path.join(td, "coh_regressed.json")
+        with open(cbad, "w", encoding="utf-8") as f:
+            json.dump(coherent_report(ring_reads=300000, pingpong=2),
+                      f)
+        if run_gate(cbad, cbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: coherence read regression passed",
+                  file=sys.stderr)
+            return 1
+
+        # Ping-pong lines appearing in the pool region past the band
+        # (false sharing creeping in) must fail.
+        cpp = os.path.join(td, "coh_pingpong.json")
+        with open(cpp, "w", encoding="utf-8") as f:
+            json.dump(coherent_report(ring_reads=100000,
+                                      pingpong=40), f)
+        if run_gate(cpp, cbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: pool ping-pong blowout passed",
+                  file=sys.stderr)
+            return 1
+
+        # A coherence baseline against a report with no coherence
+        # section (profiler not enabled) must fail, not skip.
+        if run_gate(clean, cbl, DEFAULT_MAX_SIGNAL_READS_PER_PKT,
+                    DEFAULT_TOLERANCE) == 0:
+            print("SELFTEST FAIL: sectionless report passed a "
+                  "coherence baseline", file=sys.stderr)
+            return 1
+
+        # --write-baseline must record per-prefix coherence bands
+        # when the report carries the section.
+        csections = load_sections(cclean)
+        cc2, ck2 = counters_of(csections, "counters_lossfree",
+                               cclean)
+        cout = os.path.join(td, "coh_written.json")
+        write_baseline(cc2, ck2, cout, DEFAULT_TOLERANCE,
+                       "counters_lossfree", sections=csections)
+        with open(cout, encoding="utf-8") as f:
+            cwritten = json.load(f)
+        wrote = cwritten.get("coherence", {}).get("regions", {})
+        if "ccnic." not in wrote or "pool." not in wrote:
+            print("SELFTEST FAIL: written baseline lacks coherence "
+                  f"prefixes: {sorted(wrote)}", file=sys.stderr)
+            return 1
+
         # --write-baseline --lossy must record the escalation counts
         # it saw as absolute bands.
         esc_sections = load_sections(epath)
@@ -797,7 +1065,7 @@ def main() -> int:
         sections = load_sections(args.report)
         c, kinds = counters_of(sections, section, args.report)
         write_baseline(c, kinds, args.write_baseline, args.tolerance,
-                       section, args.lossy)
+                       section, args.lossy, sections)
         return 0
 
     # Section resolution: explicit flag, else the baseline's own

@@ -17,7 +17,17 @@ Span stages this script does not know about (added by newer builds)
 pass through: they are counted, listed with a warning, and never make
 a span "incomplete" — only missing *known* stages do.
 
-Usage: trace_summary.py <trace.json>
+Hot-line join (--coherence BENCH.json): reads the coherence
+profiler's "coherence_hotlines" section from a bench report and
+prints each contended line next to the lifecycle stage its region
+sits on (tx ring/signal lines gate desc_publish->nic_observe, rx
+lines gate rx_publish->host_reap, pool lines gate the alloc path),
+with that stage's p50/p99 from the trace spans — so a contended line
+and the stage latency it inflates land in one table.
+
+Usage: trace_summary.py <trace.json> [--coherence BENCH.json]
+       trace_summary.py --coherence BENCH.json   (no trace: table
+           prints with stage attribution but no latency columns)
        trace_summary.py --selftest
 """
 
@@ -109,6 +119,72 @@ def span_table(events) -> None:
           f"{percentile(vals, 99) / 1e3:>10.1f}")
 
 
+# Region-name patterns -> the adjacent-stage delta whose latency that
+# region's contention inflates. First match wins; (start, end) are
+# SPAN_STAGES indices. Control-plane lines (heartbeats) map to None.
+REGION_STAGE_MAP = [
+    ("tx_ring", (1, 2)),    # desc_publish -> nic_observe
+    ("tx_slots", (1, 2)),
+    ("tx_tail", (1, 2)),
+    ("tx_head", (1, 2)),    # Also matches pcie tx_headwb.
+    ("rx_ring", (5, 6)),    # rx_publish -> host_reap
+    ("rx_slots", (5, 6)),
+    ("rx_tail", (5, 6)),
+    ("rx_head", (5, 6)),
+    ("pool.", (0, 1)),      # host_enqueue -> desc_publish (alloc).
+    ("beat", None),
+]
+
+
+def stage_for_region(region: str):
+    """(label, delta_index) for a hot-line region name."""
+    for pat, stages in REGION_STAGE_MAP:
+        if pat in region:
+            if stages is None:
+                return "control-plane", None
+            a, b = stages
+            label = (SPAN_STAGES[a].removeprefix("span.") + "->" +
+                     SPAN_STAGES[b].removeprefix("span."))
+            return label, a
+    return "-", None
+
+
+def hotline_rows(report_path: str) -> list:
+    """The coherence_hotlines rows of a bench JSON report."""
+    with open(report_path, encoding="utf-8") as f:
+        doc = json.load(f)
+    sec = doc.get("sections", {}).get("coherence_hotlines")
+    if sec is None:
+        raise SystemExit(
+            f"FAIL: {report_path} has no 'coherence_hotlines' "
+            "section (run the bench with --profile-coherence)")
+    return sec["rows"]
+
+
+def hotline_table(rows, deltas=None) -> None:
+    """Hot contended lines joined with their lifecycle stage.
+
+    `deltas` is the per-adjacent-stage latency-sample dict from
+    analyze_spans (or None when no trace accompanies the report).
+    """
+    print()
+    print("hot contended lines -> lifecycle stage")
+    hdr = (f"{'#':>3} {'region':<30} {'off':>8} {'traffic':>9} "
+           f"{'class':<14} {'stage':<26} {'p50_ns':>9} {'p99_ns':>9}")
+    print(hdr)
+    for r in rows:
+        label, idx = stage_for_region(r["region"])
+        p50 = p99 = "-"
+        if deltas is not None and idx is not None and deltas.get(idx):
+            vals = sorted(deltas[idx])
+            p50 = f"{percentile(vals, 50) / 1e3:.1f}"
+            p99 = f"{percentile(vals, 99) / 1e3:.1f}"
+        traffic = r["remote_reads"] + r["remote_rfos"]
+        print(f"{r['rank']:>3} {r['region']:<30} {r['offset']:>8} "
+              f"{traffic:>9} {r['class']:<14} {label:<26} "
+              f"{p50:>9} {p99:>9}")
+
+
 def selftest() -> int:
     """Exercise span joining, incompleteness, and unknown stages."""
     def span(sid, stages, t0=0, step=1000):
@@ -140,42 +216,89 @@ def selftest() -> int:
     assert sum(unknown2.values()) == 2, unknown2
 
     span_table(events)  # Smoke: printing path, warning included.
+
+    # Hot-line join: region names resolve to the right stage, the
+    # stage's latency columns come from the trace deltas, and lines
+    # with no mapped stage (heartbeats) degrade to "-".
+    label, idx = stage_for_region("ccnic.tx_ring[q0]")
+    assert idx == 1 and "desc_publish" in label, (label, idx)
+    label, idx = stage_for_region("pio.rx_slots[q3]")
+    assert idx == 5 and "host_reap" in label, (label, idx)
+    label, idx = stage_for_region("pool.bufs_large")
+    assert idx == 0, (label, idx)
+    label, idx = stage_for_region("pcie.tx_headwb[q0]")
+    assert idx == 1, (label, idx)
+    label, idx = stage_for_region("ccnic.host_beat")
+    assert idx is None and label == "control-plane", (label, idx)
+    label, idx = stage_for_region("kv.index")
+    assert idx is None and label == "-", (label, idx)
+
+    hot = [
+        {"rank": 1, "region": "ccnic.tx_ring[q0]", "offset": 64,
+         "remote_reads": 900, "remote_rfos": 700, "flips": 120,
+         "peak_window_flips": 15, "class": "two_way"},
+        {"rank": 2, "region": "ccnic.host_beat", "offset": 0,
+         "remote_reads": 10, "remote_rfos": 5, "flips": 2,
+         "peak_window_flips": 1, "class": "-"},
+    ]
+    _, deltas3, _, _, _ = analyze_spans(events)
+    hotline_table(hot, deltas3)   # With trace latencies.
+    hotline_table(hot, None)      # Report-only mode.
+
     print("selftest ok")
     return 0
 
 
 def main() -> int:
-    if len(sys.argv) == 2 and sys.argv[1] == "--selftest":
+    args = sys.argv[1:]
+    if args == ["--selftest"]:
         return selftest()
-    if len(sys.argv) != 2:
+    coherence_report = None
+    if "--coherence" in args:
+        i = args.index("--coherence")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        coherence_report = args[i + 1]
+        del args[i:i + 2]
+    if len(args) > 1 or (not args and coherence_report is None):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        events = json.load(f)
-    if not events:
-        print("empty trace")
-        return 0
 
-    by_kind = collections.Counter(e["kind"] for e in events)
-    by_name = collections.Counter(
-        (e["kind"], e["name"]) for e in events
-    )
-    t0 = min(e["tick"] for e in events)
-    t1 = max(e["tick"] for e in events)
+    events = []
+    if args:
+        with open(args[0], encoding="utf-8") as f:
+            events = json.load(f)
+        if not events and coherence_report is None:
+            print("empty trace")
+            return 0
 
-    print(f"{len(events)} events over "
-          f"{(t1 - t0) / 1e6:.3f} us "
-          f"({t0 / 1e6:.3f} .. {t1 / 1e6:.3f} us)")
-    print()
-    print(f"{'category':<24} {'count':>10}")
-    for kind, n in by_kind.most_common():
-        print(f"{kind:<24} {n:>10}")
-    print()
-    print(f"{'category':<24} {'event':<32} {'count':>10}")
-    for (kind, name), n in by_name.most_common():
-        print(f"{kind:<24} {name:<32} {n:>10}")
+    deltas = None
+    if events:
+        by_kind = collections.Counter(e["kind"] for e in events)
+        by_name = collections.Counter(
+            (e["kind"], e["name"]) for e in events
+        )
+        t0 = min(e["tick"] for e in events)
+        t1 = max(e["tick"] for e in events)
 
-    span_table(events)
+        print(f"{len(events)} events over "
+              f"{(t1 - t0) / 1e6:.3f} us "
+              f"({t0 / 1e6:.3f} .. {t1 / 1e6:.3f} us)")
+        print()
+        print(f"{'category':<24} {'count':>10}")
+        for kind, n in by_kind.most_common():
+            print(f"{kind:<24} {n:>10}")
+        print()
+        print(f"{'category':<24} {'event':<32} {'count':>10}")
+        for (kind, name), n in by_name.most_common():
+            print(f"{kind:<24} {name:<32} {n:>10}")
+
+        span_table(events)
+        _, deltas, _, _, _ = analyze_spans(events)
+
+    if coherence_report is not None:
+        hotline_table(hotline_rows(coherence_report), deltas)
     return 0
 
 
